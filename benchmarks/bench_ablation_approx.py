@@ -1,0 +1,83 @@
+"""A3 — ablation: empirical approximation ratios against the exact optimum.
+
+The paper proves worst-case factors (2(1-1/m) for BESTCLUSTERING, 3 for
+BALLS at α=1/4, 2 for AGGLOMERATIVE at m=3) but evaluates quality only
+against the pairwise lower bound.  With the branch-and-bound solver we can
+measure the *actual* ratios on many small random aggregation instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import (
+    agglomerative,
+    balls,
+    best_clustering,
+    exact_optimum,
+    furthest,
+    local_search,
+)
+from repro.core.instance import CorrelationInstance
+from repro.core.labels import as_label_matrix
+from repro.experiments import banner, render_table
+
+from conftest import once
+
+_TRIALS = 40
+
+
+def _random_case(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(6, 12))
+    m = int(rng.integers(3, 7))
+    k = int(rng.integers(2, 4))
+    matrix = as_label_matrix([rng.integers(0, k, size=n) for _ in range(m)])
+    return matrix, CorrelationInstance.from_label_matrix(matrix)
+
+
+def bench_ablation_approx_ratios(benchmark, report):
+    def run():
+        ratios: dict[str, list[float]] = {
+            name: []
+            for name in ("BEST", "BALLS(1/4)", "BALLS(2/5)", "AGGLOMERATIVE", "FURTHEST", "LOCAL-SEARCH", "LB/OPT")
+        }
+        for seed in range(_TRIALS):
+            matrix, instance = _random_case(seed)
+            _, optimal = exact_optimum(instance)
+            if optimal <= 0:
+                continue
+            candidates = {
+                "BEST": instance.cost(best_clustering(matrix)),
+                "BALLS(1/4)": instance.cost(balls(instance, alpha=0.25)),
+                "BALLS(2/5)": instance.cost(balls(instance, alpha=0.4)),
+                "AGGLOMERATIVE": instance.cost(agglomerative(instance)),
+                "FURTHEST": instance.cost(furthest(instance)),
+                "LOCAL-SEARCH": instance.cost(local_search(instance)),
+            }
+            for name, cost in candidates.items():
+                ratios[name].append(cost / optimal)
+            ratios["LB/OPT"].append(instance.lower_bound() / optimal)
+        return ratios
+
+    ratios = once(benchmark, run)
+
+    rows = [
+        (name, f"{np.mean(values):.3f}", f"{np.max(values):.3f}", f"{np.min(values):.3f}")
+        for name, values in ratios.items()
+    ]
+    text = render_table(
+        ("algorithm", "mean ratio", "max ratio", "min ratio"),
+        rows,
+        title=banner(f"A3 — cost / optimum over {_TRIALS} random aggregation instances"),
+    )
+    text += (
+        "\n\nguarantees: BEST <= 2(1-1/m); BALLS(1/4) <= 3; LB/OPT <= 1."
+        "\ntypical behaviour is far better than the worst case."
+    )
+    report("ablation_approx", text)
+
+    assert max(ratios["BALLS(1/4)"]) <= 3.0 + 1e-9  # Theorem 1
+    assert max(ratios["BEST"]) <= 2.0 + 1e-9  # 2(1 - 1/m) < 2
+    assert max(ratios["LB/OPT"]) <= 1.0 + 1e-9
+    assert np.mean(ratios["LOCAL-SEARCH"]) <= np.mean(ratios["BEST"]) + 1e-9

@@ -1,0 +1,79 @@
+"""E2 — Figure 4: finding the correct clusters and outliers.
+
+For k* in {3, 5, 7}: k* Gaussian clusters (100 points each) plus 20%
+uniform background noise; k-means is run for k = 2..10 and the nine
+clusterings are aggregated.  The paper's finding: the main aggregate
+clusters are exactly the k* planted ones, and the extra small clusters
+contain only background noise (outlier detection for free, no k given).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import aggregate
+from repro.datasets import gaussian_with_noise
+from repro.experiments import banner, kmeans_sweep, render_table
+from repro.metrics import adjusted_rand_index
+
+from conftest import once
+
+#: A cluster counts as "main" when it holds at least half a planted
+#: cluster's worth of points.
+_MAIN_THRESHOLD = 50
+
+
+def _run(k_star: int):
+    data = gaussian_with_noise(k_star, points_per_cluster=100, noise_fraction=0.2, rng=k_star)
+    matrix = kmeans_sweep(data.points, rng=17 * k_star)
+    result = aggregate(matrix, method="agglomerative", compute_lower_bound=False)
+    return data, result
+
+
+def _analyze(data, result):
+    sizes = result.clustering.sizes()
+    main_clusters = np.flatnonzero(sizes >= _MAIN_THRESHOLD)
+    noise = data.truth == -1
+    # Fraction of each small cluster that is background noise.
+    small_members = np.isin(result.clustering.labels, np.flatnonzero(sizes < _MAIN_THRESHOLD))
+    small_noise_fraction = (
+        float(noise[small_members].mean()) if small_members.any() else float("nan")
+    )
+    clustered = ~noise
+    ari_on_signal = adjusted_rand_index(
+        result.clustering.labels[clustered], data.truth[clustered]
+    )
+    return main_clusters.size, small_noise_fraction, ari_on_signal
+
+
+def bench_fig4_structure(benchmark, report):
+    results = {}
+    for k_star in (3, 7):
+        results[k_star] = _run(k_star)
+    # Benchmark the middle configuration.
+    data5, result5 = once(benchmark, lambda: _run(5))
+    results[5] = (data5, result5)
+
+    rows = []
+    for k_star in (3, 5, 7):
+        data, result = results[k_star]
+        main, small_noise, ari = _analyze(data, result)
+        rows.append((f"k*={k_star}", data.n, result.k, main, small_noise, ari))
+    table = render_table(
+        ("dataset", "points", "consensus k", "main clusters", "noise frac of small", "ARI on signal"),
+        rows,
+        title=banner("Figure 4 — correct clusters and outliers (k-means k=2..10 aggregated)"),
+    )
+    table += (
+        "\n\npaper: main clusters = the planted ones; small extra clusters"
+        "\ncontain only background noise."
+    )
+    report("fig4_structure", table)
+
+    for k_star in (3, 5, 7):
+        data, result = results[k_star]
+        main, small_noise, ari = _analyze(data, result)
+        assert main == k_star, f"expected {k_star} main clusters, found {main}"
+        assert ari > 0.9, f"planted clusters poorly recovered (ARI {ari:.2f})"
+        if not np.isnan(small_noise):
+            assert small_noise > 0.65, "small clusters should be mostly background noise"

@@ -1,0 +1,86 @@
+"""E7 — Figure 5 (left, middle): sampling on Mushrooms.
+
+The paper sweeps the SAMPLING sample size on Mushrooms and plots (left)
+the running time as a fraction of the non-sampling algorithm and (middle)
+the classification error converging to the non-sampling error.  At sample
+size 1600 they report >50% time reduction at essentially the same error.
+
+We reproduce both series with AGGLOMERATIVE as the inner algorithm.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import aggregate
+from repro.algorithms import agglomerative, sampling
+from repro.core.instance import CorrelationInstance
+from repro.datasets import generate_mushrooms
+from repro.experiments import banner, current_scale, render_table
+from repro.metrics import classification_error
+
+from conftest import once
+
+
+def bench_fig5_sampling_sweep(benchmark, report):
+    scale = current_scale()
+    dataset = generate_mushrooms(n=scale.mushrooms_rows, rng=0)
+    matrix = dataset.label_matrix()
+
+    # Non-sampling reference (time includes building the instance — that is
+    # exactly the quadratic cost SAMPLING avoids).
+    start = time.perf_counter()
+    reference = aggregate(matrix, method="agglomerative", compute_lower_bound=False)
+    reference_seconds = time.perf_counter() - start
+    reference_error = classification_error(reference.clustering, dataset.classes)
+
+    sweep = list(scale.sampling_sweep)
+    rows = []
+    results = {}
+
+    def run(size: int):
+        start = time.perf_counter()
+        clustering = sampling(matrix, agglomerative, sample_size=size, rng=1)
+        return clustering, time.perf_counter() - start
+
+    for size in sweep[:-1]:
+        results[size] = run(size)
+    results[sweep[-1]] = once(benchmark, lambda: run(sweep[-1]))
+
+    for size in sweep:
+        clustering, seconds = results[size]
+        error = classification_error(clustering, dataset.classes)
+        rows.append(
+            (
+                size,
+                clustering.k,
+                f"{error * 100:.1f}",
+                f"{seconds:.2f}",
+                f"{seconds / reference_seconds:.2f}",
+            )
+        )
+    rows.append(
+        (
+            "full (no sampling)",
+            reference.k,
+            f"{reference_error * 100:.1f}",
+            f"{reference_seconds:.2f}",
+            "1.00",
+        )
+    )
+    text = render_table(
+        ("sample size", "k", "E_C (%)", "seconds", "time / non-sampling"),
+        rows,
+        title=banner(f"Figure 5 left+middle — SAMPLING sweep on Mushrooms ({scale.describe()})"),
+    )
+    text += (
+        "\n\npaper: time ratio < 0.5 at sample 1600 on 8124 rows; E_C converges"
+        "\nto the non-sampling error as the sample grows."
+    )
+    report("fig5_sampling", text)
+
+    largest = sweep[-1]
+    final_error = classification_error(results[largest][0], dataset.classes)
+    assert final_error <= reference_error + 0.05, "largest sample should match full error"
+    smallest_seconds = results[sweep[0]][1]
+    assert smallest_seconds < reference_seconds, "small samples must be faster than full"

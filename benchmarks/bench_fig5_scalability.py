@@ -1,0 +1,96 @@
+"""E8 — Figure 5 (right): SAMPLING running time on large synthetic datasets.
+
+The paper repeats the Figure 4 configuration at 50K-1M points (five
+Gaussian clusters + 20% uniform noise, k-means for k = 2..10, SAMPLING
+aggregation with sample size 1000) and shows the total running time grows
+*linearly* — the post-processing assignment dominates and is linear.
+
+We reproduce the series (sizes controlled by REPRO_SCALE) and check both
+the linear shape and that the five planted clusters are recovered.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.algorithms import agglomerative, sampling
+from repro.datasets import gaussian_with_noise
+from repro.experiments import banner, current_scale, render_table
+from repro.metrics import adjusted_rand_index
+
+from conftest import once
+
+_K_STAR = 5
+_SAMPLE = 1000
+
+
+def _build(total_points: int, seed: int):
+    per_cluster = int(round(total_points / (_K_STAR * 1.2)))
+    data = gaussian_with_noise(
+        _K_STAR, points_per_cluster=per_cluster, noise_fraction=0.2, rng=seed
+    )
+    return data
+
+
+def _kmeans_sweep_fast(points: np.ndarray, rng: int) -> np.ndarray:
+    from repro.cluster import kmeans
+    from repro.core.labels import as_label_matrix
+
+    labels = [
+        kmeans(points, k, n_init=2, max_iter=50, rng=rng + k).labels for k in range(2, 11)
+    ]
+    return as_label_matrix(labels)
+
+
+def bench_fig5_scalability(benchmark, report):
+    scale = current_scale()
+    sizes = list(scale.scalability_sizes)
+    rows = []
+    aggregate_seconds = {}
+
+    def run(total: int):
+        data = _build(total, seed=11)
+        sweep_start = time.perf_counter()
+        matrix = _kmeans_sweep_fast(data.points, rng=3)
+        sweep_seconds = time.perf_counter() - sweep_start
+        start = time.perf_counter()
+        clustering = sampling(matrix, agglomerative, sample_size=_SAMPLE, rng=0)
+        seconds = time.perf_counter() - start
+        return data, matrix, clustering, sweep_seconds, seconds
+
+    outcomes = {}
+    for total in sizes[:-1]:
+        outcomes[total] = run(total)
+    outcomes[sizes[-1]] = once(benchmark, lambda: run(sizes[-1]))
+
+    for total in sizes:
+        data, _, clustering, sweep_seconds, seconds = outcomes[total]
+        signal = data.truth >= 0
+        ari = adjusted_rand_index(clustering.labels[signal], data.truth[signal])
+        big = int((clustering.sizes() >= data.n // 20).sum())
+        aggregate_seconds[total] = seconds
+        rows.append((data.n, big, f"{ari:.3f}", f"{sweep_seconds:.1f}", f"{seconds:.2f}"))
+
+    text = render_table(
+        ("points", "main clusters", "ARI on signal", "k-means sweep (s)", "SAMPLING aggregation (s)"),
+        rows,
+        title=banner(
+            f"Figure 5 right — SAMPLING scalability, 5 Gaussian clusters + 20% noise "
+            f"(sample={_SAMPLE}, {scale.describe()})"
+        ),
+    )
+    text += "\n\npaper: total aggregation time grows linearly in the dataset size."
+    report("fig5_scalability", text)
+
+    for total in sizes:
+        data, _, clustering, _, _ = outcomes[total]
+        signal = data.truth >= 0
+        ari = adjusted_rand_index(clustering.labels[signal], data.truth[signal])
+        assert ari > 0.9, f"planted clusters lost at {total} points (ARI {ari:.2f})"
+    # Linear shape: time per point roughly constant (loose factor for noise).
+    smallest, largest = sizes[0], sizes[-1]
+    per_point_small = aggregate_seconds[smallest] / smallest
+    per_point_large = aggregate_seconds[largest] / largest
+    assert per_point_large < per_point_small * 4, "aggregation time should grow ~linearly"

@@ -1,0 +1,61 @@
+"""E3 — Table 1: AGGLOMERATIVE's confusion matrix on Mushrooms.
+
+The paper presents the class-vs-cluster confusion matrix of the clusters
+AGGLOMERATIVE finds on Mushrooms: seven natural clusters, mostly but not
+perfectly class-pure (e.g. the largest holds 808 poisonous and 2864
+edible mushrooms), giving the 11.1% classification error of Table 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import aggregate
+from repro.datasets import generate_mushrooms
+from repro.experiments import banner, current_scale, render_table
+from repro.metrics import classification_error, confusion_matrix
+
+from conftest import once
+
+#: Table 1 of the paper (columns c1..c7), for the report.
+_PAPER = (
+    ("Poisonous", (808, 0, 1296, 1768, 0, 36, 8)),
+    ("Edible", (2864, 1056, 0, 96, 192, 0, 0)),
+)
+
+
+def bench_table1_confusion(benchmark, report):
+    scale = current_scale()
+    dataset = generate_mushrooms(n=scale.mushrooms_rows, rng=0)
+    result = once(
+        benchmark,
+        lambda: aggregate(dataset.label_matrix(), method="agglomerative", compute_lower_bound=False),
+    )
+
+    table_matrix = confusion_matrix(result.clustering, dataset.classes)
+    order = np.argsort(-table_matrix.sum(axis=0))
+    shown = order[: min(10, len(order))]
+    headers = ("class",) + tuple(f"c{i + 1}" for i in range(len(shown)))
+    rows = [
+        (dataset.class_names[class_index],) + tuple(int(table_matrix[class_index, c]) for c in shown)
+        for class_index in range(table_matrix.shape[0])
+    ]
+    error = classification_error(result.clustering, dataset.classes)
+    text = render_table(
+        headers,
+        rows,
+        title=banner(
+            f"Table 1 — AGGLOMERATIVE confusion matrix on Mushrooms ({scale.describe()})"
+        ),
+    )
+    text += f"\n\nmeasured: k={result.k}, E_C={error * 100:.1f}%"
+    text += "\npaper (full 8124 rows):"
+    for name, counts in _PAPER:
+        text += f"\n  {name:>9s} " + " ".join(f"{value:5d}" for value in counts)
+    text += "\n  (paper E_C = 11.1%, k = 7)"
+    report("table1_confusion", text)
+
+    sizes = np.sort(result.clustering.sizes())[::-1]
+    main_clusters = int((sizes >= max(5, dataset.n // 100)).sum())
+    assert 5 <= main_clusters <= 10, f"expected ~7 main clusters, got {main_clusters}"
+    assert error < 0.2, f"classification error too high: {error:.2%}"

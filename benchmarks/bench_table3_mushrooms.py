@@ -1,0 +1,93 @@
+"""E5 — Table 3: clustering categorical data, the Mushrooms dataset.
+
+Same layout as Table 2, with ROCK and LIMBO also run at the k values the
+paper reports (2, 7, 9).  ROCK uses θ = 0.45 (calibrated to the synthetic
+stand-in's Jaccard scale; the paper's 0.8 leaves the link graph empty
+here — see DESIGN.md §4); LIMBO uses the paper's φ = 0.3.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import generate_mushrooms
+from repro.experiments import banner, categorical_table, current_scale, render_table
+
+from conftest import once
+
+#: Table 3 of the paper (full 8124 rows), E_D in millions.
+_PAPER_ROWS = {
+    "Class labels": (2, 0.0, 13.537),
+    "Lower bound": (None, None, 8.388),
+    "BEST": (5, 35.4, 8.542),
+    "AGGLOMERATIVE": (7, 11.1, 9.990),
+    "FURTHEST": (9, 10.4, 10.169),
+    "BALLS(a=0.4)": (10, 14.2, 11.448),
+    "LOCAL-SEARCH": (10, 10.7, 9.929),
+    "ROCK(k=2)": (2, 48.2, 16.777),
+    "ROCK(k=7)": (7, 25.9, 10.568),
+    "ROCK(k=9)": (9, 9.9, 10.312),
+    "LIMBO(k=2)": (2, 10.9, 13.011),
+    "LIMBO(k=7)": (7, 4.2, 10.505),
+    "LIMBO(k=9)": (9, 4.2, 10.360),
+}
+
+_ROCK_THETA = 0.45
+_LIMBO_PHI = 0.3
+
+
+def bench_table3_mushrooms(benchmark, report):
+    scale = current_scale()
+    dataset = generate_mushrooms(n=scale.mushrooms_rows, rng=0)
+    # ROCK's merging is cubic; at the full 8124 rows we use the original
+    # paper's own remedy (cluster a sample, link-assign the rest).
+    rock_sample = 2500 if scale.name == "paper" else None
+    rows = once(
+        benchmark,
+        lambda: categorical_table(
+            dataset,
+            rock_params=((2, _ROCK_THETA), (7, _ROCK_THETA), (9, _ROCK_THETA)),
+            limbo_params=((2, _LIMBO_PHI), (7, _LIMBO_PHI), (9, _LIMBO_PHI)),
+            rock_sample=rock_sample,
+        ),
+    )
+
+    display = []
+    for row in rows:
+        key = row.label.replace(f",t={_ROCK_THETA}", "").replace(f",phi={_LIMBO_PHI}", "")
+        paper = _PAPER_ROWS.get(key)
+        display.append(
+            (
+                row.label,
+                row.k if row.k is not None else "-",
+                f"{row.classification_error_pct:.1f}" if row.classification_error_pct is not None else "-",
+                f"{row.disagreement_cost:,.0f}",
+                f"{paper[0]}/{paper[1]}/{paper[2]}M" if paper else "-",
+                f"{row.seconds:.2f}",
+            )
+        )
+    text = render_table(
+        ("method", "k", "E_C (%)", "E_D", "paper k/E_C/E_D", "seconds"),
+        display,
+        title=banner(f"Table 3 — Mushrooms dataset ({scale.describe()})"),
+    )
+    text += (
+        "\n\npaper shape: parameter-free aggregation finds ~7-10 clusters at"
+        "\nE_C ~ 10-14%; ROCK needs the right k (awful at k=2); BEST has low E_D"
+        "\nbut poor E_C.  (LIMBO's 4.2% depends on the real data's"
+        "\nnear-deterministic odor->class rule; see EXPERIMENTS.md.)"
+    )
+    report("table3_mushrooms", text)
+
+    by_label = {row.label: row for row in rows}
+    agg = by_label["AGGLOMERATIVE"]
+    # Raw k includes outlier micro-clusters; the structural claim is about
+    # clusters holding at least ~1% of the data (cf. Table 1's seven).
+    assert 5 <= agg.k <= 32, f"implausible consensus cluster count {agg.k}"
+    assert agg.classification_error_pct < 16.0
+    # ROCK at k=2 merges the classes catastrophically, as in the paper.
+    rock2 = by_label[f"ROCK(k=2,t={_ROCK_THETA})"]
+    assert rock2.classification_error_pct > 2 * agg.classification_error_pct
+    # The lower bound is below every method's E_D.
+    lower = by_label["Lower bound"].disagreement_cost
+    for row in rows:
+        if row.label != "Lower bound":
+            assert row.disagreement_cost >= lower - 1e-6

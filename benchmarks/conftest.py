@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints its reproduced table (in the paper's layout, with the
+paper's published values alongside where applicable) straight to the
+terminal — bypassing pytest's capture so ``pytest benchmarks/
+--benchmark-only | tee bench_output.txt`` records everything — and also
+writes it under ``reports/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORTS_DIR = Path(__file__).resolve().parent.parent / "reports"
+
+
+@pytest.fixture
+def report(capsys):
+    """Emit a bench report: print through capture and save to reports/."""
+
+    def emit(name: str, text: str) -> None:
+        REPORTS_DIR.mkdir(exist_ok=True)
+        (REPORTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(text)
+
+    return emit
+
+
+def once(benchmark, fn):
+    """Time ``fn`` exactly once (experiments are too heavy to repeat)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,66 @@
+"""Privacy-preserving clustering over vertically partitioned data (paper §2).
+
+Three organizations hold different attribute sets about the same
+population (a hospital, a bank, a census bureau).  None will share raw
+values — but each can cluster its *own* attributes locally and publish
+only the resulting cluster labels.  Aggregating the three label vectors
+clusters the population as a whole; the only information revealed is
+which tuples each site groups together.
+
+Run:  python examples/privacy_preserving.py
+"""
+
+import numpy as np
+
+from repro import Clustering, aggregate
+from repro.baselines import limbo
+from repro.datasets import generate_census
+from repro.metrics import adjusted_rand_index, normalized_mutual_information
+
+
+#: Which attribute columns each site holds (of the 8 census attributes).
+SITES = {
+    "hospital (demographics)": [5, 6],        # race, sex
+    "bank (household)": [2, 4],               # marital-status, relationship
+    "census bureau (work)": [0, 1, 3, 7],     # workclass, education, occupation, country
+}
+
+
+def main() -> None:
+    population = generate_census(n=4000, rng=0)
+    print(f"shared population: {population.n:,} people; attributes split across {len(SITES)} sites\n")
+
+    published: list[Clustering] = []
+    for site, columns in SITES.items():
+        # Each site clusters its own vertical slice locally (here: LIMBO,
+        # any categorical algorithm works) and publishes labels only.
+        local_view = population.data[:, columns]
+        local_clustering = limbo(local_view, k=12, phi=0.5, max_leaves=128)
+        published.append(local_clustering)
+        print(f"  {site:28s} publishes {local_clustering.k:3d} cluster labels "
+              f"(raw values stay on site)")
+
+    result = aggregate(
+        published, method="sampling", inner="agglomerative", sample_size=800, rng=0
+    )
+    print(f"\nglobal consensus: {result.k} clusters over the whole population")
+
+    # Sanity: the consensus correlates with the hidden social groups far
+    # better than any single site's clustering does.
+    full_view = aggregate(
+        population.label_matrix(), method="sampling", inner="agglomerative",
+        sample_size=800, rng=0,
+    )
+    agreement = adjusted_rand_index(result.clustering, full_view.clustering)
+    print(
+        f"agreement with clustering the pooled (non-private) data: ARI = {agreement:.3f}"
+    )
+    for (site, _), local in zip(SITES.items(), published):
+        nmi = normalized_mutual_information(local, full_view.clustering)
+        print(f"  {site:28s} alone: NMI = {nmi:.3f}")
+    nmi = normalized_mutual_information(result.clustering, full_view.clustering)
+    print(f"  {'aggregated sites':28s}      NMI = {nmi:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — Clustering Aggregation (Gionis, Mannila, Tsaparas, ICDE 2005).
+
+A complete, from-scratch reproduction of the paper's system:
+
+* the clustering-aggregation / correlation-clustering framework
+  (:mod:`repro.core`),
+* the BESTCLUSTERING, BALLS, AGGLOMERATIVE, FURTHEST, LOCALSEARCH and
+  SAMPLING algorithms (:mod:`repro.algorithms`),
+* the vanilla clustering substrate the paper's experiments feed into the
+  aggregator — k-means and hierarchical linkages (:mod:`repro.cluster`),
+* the ROCK and LIMBO categorical-clustering baselines
+  (:mod:`repro.baselines`),
+* dataset generators mirroring the paper's synthetic and UCI workloads
+  (:mod:`repro.datasets`), and
+* the evaluation metrics of Section 5 (:mod:`repro.metrics`).
+
+Quickstart::
+
+    from repro import Clustering, aggregate
+
+    inputs = [Clustering([0, 0, 1, 1, 2, 2]),
+              Clustering([0, 1, 0, 1, 2, 3]),
+              Clustering([0, 1, 0, 1, 2, 2])]
+    result = aggregate(inputs, method="agglomerative")
+    print(result.clustering, result.disagreements)
+"""
+
+from .core import (
+    AggregationResult,
+    Clustering,
+    CorrelationInstance,
+    aggregate,
+    available_methods,
+    clustering_distance,
+    total_disagreement,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregationResult",
+    "Clustering",
+    "CorrelationInstance",
+    "aggregate",
+    "available_methods",
+    "clustering_distance",
+    "total_disagreement",
+    "__version__",
+]

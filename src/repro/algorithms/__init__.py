@@ -1,0 +1,27 @@
+"""The paper's aggregation / correlation-clustering algorithms (§4)."""
+
+from .agglomerative import agglomerative
+from .annealing import simulated_annealing
+from .balls import PRACTICAL_ALPHA, THEORY_ALPHA, balls
+from .best_clustering import best_clustering, column_as_candidate
+from .exact import enumerate_partitions, exact_optimum
+from .furthest import furthest
+from .local_search import local_search
+from .sampling import SamplingDetails, default_sample_size, sampling
+
+__all__ = [
+    "agglomerative",
+    "simulated_annealing",
+    "balls",
+    "THEORY_ALPHA",
+    "PRACTICAL_ALPHA",
+    "best_clustering",
+    "column_as_candidate",
+    "exact_optimum",
+    "enumerate_partitions",
+    "furthest",
+    "local_search",
+    "sampling",
+    "SamplingDetails",
+    "default_sample_size",
+]

@@ -1,0 +1,87 @@
+"""BALLS — the paper's combinatorial 3-approximation (§4, Theorem 1).
+
+The algorithm exploits the triangle inequality of aggregation-derived
+distances: all nodes within distance 1/2 of a node ``u`` (a "ball") are
+also pairwise close, so a dense ball is a good cluster.  Nodes are first
+sorted by increasing total incident weight (a heuristic the authors found
+to work well); repeatedly, the first unclustered node ``u`` is taken, the
+ball ``S`` of unclustered nodes within ``radius`` of ``u`` is formed, and
+the cluster ``S + {u}`` is emitted when the *average* distance from ``u``
+to ``S`` is at most ``alpha`` — otherwise ``u`` becomes a singleton.
+
+``alpha = 1/4`` gives the proven 3-approximation; the paper reports that
+``alpha = 2/5`` produces better clusterings on their real datasets (it is
+less eager to open singletons).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import CorrelationInstance
+from ..core.partition import Clustering
+
+__all__ = ["balls", "THEORY_ALPHA", "PRACTICAL_ALPHA"]
+
+#: The alpha of Theorem 1 (3-approximation guarantee).
+THEORY_ALPHA = 0.25
+#: The alpha the paper recommends on real datasets.
+PRACTICAL_ALPHA = 0.4
+
+
+def balls(
+    instance: CorrelationInstance,
+    alpha: float = THEORY_ALPHA,
+    radius: float = 0.5,
+    sort_by_weight: bool = True,
+) -> Clustering:
+    """Run the BALLS algorithm on a correlation instance.
+
+    Parameters
+    ----------
+    instance:
+        Pairwise distances; the approximation guarantee assumes they obey
+        the triangle inequality (always true for aggregation instances).
+    alpha:
+        Acceptance threshold on the average ball distance.  The paper's
+        only tunable parameter.
+    radius:
+        Ball radius (1/2 in the paper; exposed for ablations).
+    sort_by_weight:
+        Process nodes in increasing total incident weight (paper default);
+        ``False`` processes them in index order.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    if not 0.0 < radius <= 1.0:
+        raise ValueError(f"radius must be in (0, 1], got {radius}")
+    X = instance.X
+    n = instance.n
+    node_weights = instance.effective_weights()
+    if sort_by_weight:
+        incident = X.astype(np.float64) @ node_weights
+        order = np.argsort(incident, kind="stable")
+    else:
+        order = np.arange(n)
+
+    labels = np.full(n, -1, dtype=np.int64)
+    unclustered = np.ones(n, dtype=bool)
+    next_label = 0
+    for u in order:
+        if not unclustered[u]:
+            continue
+        in_ball = unclustered & (X[u] <= radius)
+        in_ball[u] = False
+        ball = np.flatnonzero(in_ball)
+        if ball.size > 0:
+            # Weighted average over the expanded objects in the ball —
+            # including u's own duplicates, which sit at distance 0.
+            ball_weight = float(node_weights[ball].sum()) + float(node_weights[u]) - 1.0
+            ball_distance = float(X[u, ball].astype(np.float64) @ node_weights[ball])
+            if ball_distance / ball_weight <= alpha:
+                labels[ball] = next_label
+                unclustered[ball] = False
+        labels[u] = next_label
+        unclustered[u] = False
+        next_label += 1
+    return Clustering(labels)

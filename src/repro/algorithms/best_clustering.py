@@ -1,0 +1,75 @@
+"""BESTCLUSTERING — pick the best of the input clusterings (paper §4).
+
+The trivial ``2(1 - 1/m)``-approximation for clustering aggregation: since
+the Mirkin distance is a metric (Observation 1), the input clustering
+``C_i`` minimizing ``D(C_i) = sum_j d_V(C_j, C_i)`` is within a factor
+``2(1 - 1/m)`` of the optimal aggregate.  The bound is tight, and the paper
+notes the solution is usually non-intuitive in practice — it exists here as
+the baseline the other algorithms are compared against.
+
+This algorithm is specific to clustering *aggregation*: it needs the input
+clusterings themselves, not just the distance matrix, so it consumes a
+label matrix rather than a :class:`~repro.core.instance.CorrelationInstance`.
+
+Columns with missing entries are not total partitions; to produce a valid
+candidate we group all missing entries of a column into one dedicated
+cluster (``missing="own-cluster"``, the behaviour that matches the paper's
+Votes table where BESTCLUSTERING returns k=3 on yes/no attributes), or give
+each missing entry its own singleton (``missing="singletons"``).  The
+candidate's objective is still evaluated with the coin-flip model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.distance import total_disagreement
+from ..core.labels import MISSING, validate_label_matrix
+from ..core.partition import Clustering
+
+__all__ = ["best_clustering", "column_as_candidate"]
+
+
+def column_as_candidate(column: np.ndarray, missing: str = "own-cluster") -> Clustering:
+    """Turn one (possibly partial) label-matrix column into a total clustering."""
+    column = np.asarray(column, dtype=np.int64)
+    absent = column == MISSING
+    if not absent.any():
+        return Clustering(column)
+    filled = column.copy()
+    top = int(column.max()) + 1
+    if missing == "own-cluster":
+        filled[absent] = top
+    elif missing == "singletons":
+        filled[absent] = top + np.arange(int(absent.sum()))
+    else:
+        raise ValueError(f"unknown missing-value policy {missing!r}")
+    return Clustering(filled)
+
+
+def best_clustering(
+    matrix: np.ndarray, p: float = 0.5, missing: str = "own-cluster"
+) -> Clustering:
+    """Return the input clustering with the smallest total disagreement.
+
+    Parameters
+    ----------
+    matrix:
+        ``(n, m)`` label matrix of the input clusterings (``-1`` missing).
+    p:
+        Coin-flip probability of the missing-value model used to evaluate
+        ``D(C_i)``.
+    missing:
+        How a column's missing entries are materialized into the candidate
+        clustering (see :func:`column_as_candidate`).
+    """
+    validate_label_matrix(matrix)
+    best: Clustering | None = None
+    best_score = np.inf
+    for j in range(matrix.shape[1]):
+        candidate = column_as_candidate(matrix[:, j], missing=missing)
+        score = total_disagreement(matrix, candidate, p=p)
+        if score < best_score:
+            best, best_score = candidate, score
+    assert best is not None  # matrix has at least one column
+    return best

@@ -1,0 +1,121 @@
+"""Exact correlation clustering by branch-and-bound (for small instances).
+
+Both clustering aggregation and correlation clustering are NP-complete, so
+an exact solver only serves small instances — we use it as ground truth in
+tests and to measure the empirical approximation ratios of the heuristics
+(ablation bench A3).
+
+The search assigns objects ``0, 1, 2, ...`` in order; object ``t`` either
+joins one of the clusters opened by ``0..t-1`` or opens a new one (this
+enumerates each set partition exactly once, in restricted-growth order).
+Partial solutions are pruned with
+
+    partial cost + sum_{pairs (i, j), j >= t} min(X_ij, 1 - X_ij) >= best,
+
+i.e. every unresolved pair will cost at least ``min(X, 1-X)``.  The
+incumbent is seeded with the best heuristic solution so pruning bites
+immediately.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from ..core.instance import CorrelationInstance
+from ..core.partition import Clustering
+from .agglomerative import agglomerative
+from .local_search import local_search
+
+__all__ = ["exact_optimum", "enumerate_partitions"]
+
+#: Hard safety cap; beyond this the search space is astronomically large.
+_MAX_EXACT_N = 18
+
+
+def enumerate_partitions(n: int) -> Iterator[list[int]]:
+    """Yield every partition of ``n`` objects as a restricted-growth string.
+
+    A restricted-growth string is a label vector where ``labels[0] == 0``
+    and each subsequent label is at most ``1 + max(previous labels)``; each
+    set partition corresponds to exactly one such string.  The number of
+    partitions is the Bell number ``B_n`` — use only for tiny ``n``.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    labels = [0] * n
+
+    def extend(position: int, ceiling: int) -> Iterator[list[int]]:
+        if position == n:
+            yield labels.copy()
+            return
+        for value in range(ceiling + 1):
+            labels[position] = value
+            yield from extend(position + 1, max(ceiling, value + 1))
+
+    yield from extend(1, 1)
+
+
+def exact_optimum(
+    instance: CorrelationInstance, seed_with_heuristics: bool = True
+) -> tuple[Clustering, float]:
+    """The optimal clustering and its cost, by branch-and-bound.
+
+    Raises ``ValueError`` for instances with more than 18 objects — the
+    solver is meant for ground truth on small cases, not production use.
+    """
+    n = instance.n
+    if n > _MAX_EXACT_N:
+        raise ValueError(
+            f"exact_optimum handles at most {_MAX_EXACT_N} objects, got {n}; "
+            "use the approximation algorithms for larger instances"
+        )
+    if instance.weights is not None:
+        raise ValueError(
+            "exact_optimum does not support weighted (atom) instances; "
+            "expand the duplicates first"
+        )
+    X = np.asarray(instance.X, dtype=np.float64)
+
+    # Remaining-cost lower bound: pairs with the later endpoint >= t are
+    # unresolved once objects 0..t-1 are placed.
+    cheapest = np.minimum(X, 1.0 - X)
+    per_object = np.array(
+        [cheapest[j, :j].sum() for j in range(n)], dtype=np.float64
+    )
+    # future_bound[t] = sum over j >= t of per_object[j]
+    future_bound = np.concatenate([np.cumsum(per_object[::-1])[::-1], [0.0]])
+
+    best_labels = np.zeros(n, dtype=np.int64)
+    best_cost = instance.cost(Clustering.single_cluster(n))
+    if seed_with_heuristics and n >= 2:
+        seed = local_search(instance, initial=agglomerative(instance))
+        seed_cost = instance.cost(seed)
+        if seed_cost < best_cost:
+            best_labels = seed.labels.astype(np.int64).copy()
+            best_cost = seed_cost
+
+    labels = np.zeros(n, dtype=np.int64)
+
+    def search(t: int, used: int, partial_cost: float) -> None:
+        nonlocal best_labels, best_cost
+        if partial_cost + future_bound[t] >= best_cost - 1e-12:
+            return
+        if t == n:
+            best_cost = partial_cost
+            best_labels = labels[:n].copy()
+            return
+        # Cost of placing object t given the first t placements: X to
+        # same-cluster members, 1 - X to different-cluster members.
+        row = X[t, :t]
+        for cluster in range(used + 1):
+            same = labels[:t] == cluster
+            added = float(row[same].sum()) + float((1.0 - row[~same]).sum())
+            labels[t] = cluster
+            search(t + 1, max(used, cluster + 1), partial_cost + added)
+
+    if n == 1:
+        return Clustering.single_cluster(1), 0.0
+    search(1, 1, 0.0)
+    return Clustering(best_labels), float(best_cost)

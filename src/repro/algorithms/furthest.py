@@ -1,0 +1,89 @@
+"""FURTHEST — top-down furthest-first partitioning (§4).
+
+Inspired by the furthest-first traversal of Hochbaum and Shmoys for
+p-centers.  Starting from the single-cluster solution, the two mutually
+furthest nodes become centers; every node is assigned to the center that
+incurs the least cost, the correlation cost of the new solution is
+computed, and the process repeats — each round adding as new center the
+node furthest from the existing centers — until adding a center no longer
+reduces the cost.  The solution of the *previous* round is returned.
+
+Complexity is ``O(k^2 n)`` over the ``O(m n^2)`` distance matrix, where
+``k`` is the number of centers tried.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import CorrelationInstance
+from ..core.partition import Clustering
+
+__all__ = ["furthest"]
+
+
+def furthest(
+    instance: CorrelationInstance,
+    max_k: int | None = None,
+    force_k: int | None = None,
+) -> Clustering:
+    """Run the FURTHEST algorithm on a correlation instance.
+
+    Parameters
+    ----------
+    instance:
+        Pairwise distances in [0, 1].
+    max_k:
+        Optional cap on the number of centers (the paper's algorithm is
+        parameter-free and stops on the first non-improving round).
+    force_k:
+        Return exactly ``force_k`` clusters: keep generating furthest-first
+        centers regardless of the cost trend (the §2 "if the user insists
+        on a predefined number of clusters" variant).
+    """
+    X = instance.X
+    n = instance.n
+    if force_k is not None:
+        if max_k is not None:
+            raise ValueError("give at most one of max_k and force_k")
+        if not 1 <= force_k <= n:
+            raise ValueError(f"force_k must be in 1..{n}, got {force_k}")
+    if n == 1:
+        return Clustering.single_cluster(1)
+    cap = n if max_k is None else min(max_k, n)
+    if force_k is not None:
+        cap = force_k
+
+    best = Clustering.single_cluster(n)
+    best_cost = instance.cost(best)
+    if cap < 2:
+        return best
+
+    # Initial centers: the furthest pair.
+    flat = int(np.argmax(X))
+    first, second = np.unravel_index(flat, X.shape)
+    centers = [int(first), int(second)]
+
+    while True:
+        center_columns = X[:, centers]  # (n, |centers|)
+        assignment = np.argmin(center_columns, axis=1)
+        # Each center belongs to its own cluster (distance 0 to itself, and
+        # argmin ties resolve to the first column — force exactness).
+        for rank, center in enumerate(centers):
+            assignment[center] = rank
+        candidate = Clustering(assignment)
+        cost = instance.cost(candidate)
+        if force_k is not None:
+            if len(centers) >= cap:
+                return candidate
+        elif cost < best_cost:
+            best, best_cost = candidate, cost
+        else:
+            return best
+        if force_k is None and len(centers) >= cap:
+            return best
+
+        # Next center: the node furthest from all existing centers.
+        distance_to_centers = center_columns.min(axis=1)
+        distance_to_centers[centers] = -1.0
+        centers.append(int(np.argmax(distance_to_centers)))

@@ -1,0 +1,227 @@
+"""SAMPLING — scaling clustering aggregation to large datasets (§4.1).
+
+The quadratic distance matrix makes the base algorithms inapplicable to
+large datasets.  SAMPLING wraps any of them:
+
+1. **Pre-processing** — draw a uniform sample ``S`` of the objects, build
+   the correlation instance *of the sample only*, and aggregate it with the
+   inner algorithm.  A Chernoff argument shows an ``O(log n)`` sample hits
+   every cluster containing a constant fraction of the data.
+2. **Assignment** — every non-sampled object is placed into the cheapest
+   sample cluster, or into a singleton when no cluster is attractive
+   (average distance below 1/2).  Costs come from
+   :class:`~repro.core.objective.ClusterCountTables`, so this phase is
+   linear in the data size and never materializes a full distance matrix.
+3. **Singleton round-up** — objects left as singletons (the paper observed
+   there are too many of them) are collected and aggregated again among
+   themselves; if even the singleton set is too large, SAMPLING recurses.
+
+The function accepts either a raw ``(n, m)`` label matrix (the scalable
+path used for the Census and 1M-point experiments) or a prebuilt
+:class:`~repro.core.instance.CorrelationInstance` (convenient in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.instance import CorrelationInstance
+from ..core.labels import validate_label_matrix
+from ..core.objective import ClusterCountTables
+from ..core.partition import Clustering
+
+__all__ = ["sampling", "SamplingDetails", "default_sample_size"]
+
+InnerAlgorithm = Callable[[CorrelationInstance], Clustering]
+
+#: Assignment-phase block size (rows scored per vectorized batch).
+_ASSIGN_BLOCK = 8192
+
+
+@dataclass
+class SamplingDetails:
+    """Diagnostics of one SAMPLING run (see :func:`sampling`)."""
+
+    sample_indices: np.ndarray
+    sample_clusters: int
+    assigned_to_clusters: int
+    leftover_singletons: int
+    recursed: bool
+
+
+def default_sample_size(n: int) -> int:
+    """Paper-guided default: logarithmic in ``n`` with a practical floor.
+
+    The theory requires ``O(log n)`` to hit all large clusters with high
+    probability; the paper's experiments use samples of 1000–4000, so the
+    default is ``min(n, max(200, 65 * log2(n)))`` — about 1000 for
+    ``n = 50K`` and still only ~1300 for one million objects.
+    """
+    if n <= 1:
+        return n
+    return int(min(n, max(200, round(65 * np.log2(n)))))
+
+
+def sampling(
+    data: np.ndarray | CorrelationInstance,
+    inner: InnerAlgorithm,
+    sample_size: int | None = None,
+    p: float = 0.5,
+    rng: np.random.Generator | int | None = None,
+    max_singleton_subproblem: int = 4000,
+    return_details: bool = False,
+    weights: np.ndarray | None = None,
+) -> Clustering | tuple[Clustering, SamplingDetails]:
+    """Run the SAMPLING meta-algorithm.
+
+    Parameters
+    ----------
+    data:
+        ``(n, m)`` label matrix (scalable path) or a full
+        :class:`CorrelationInstance` (testing convenience).
+    inner:
+        The aggregation algorithm run on sub-instances, e.g.
+        ``lambda inst: agglomerative(inst)`` or ``furthest``.
+    sample_size:
+        Sample size; defaults to :func:`default_sample_size`.
+    p:
+        Missing-value coin-flip probability (label-matrix path only).
+    rng:
+        Seed or generator for the uniform sample.
+    max_singleton_subproblem:
+        Singleton sets larger than this are handled by a recursive
+        SAMPLING call instead of a quadratic sub-instance.
+    return_details:
+        Also return :class:`SamplingDetails`.
+    weights:
+        Per-row multiplicities for duplicate-collapsed (atom) matrices:
+        the sample is drawn proportionally to multiplicity (i.e. uniform
+        over the underlying objects) and all cluster masses are weighted.
+        Label-matrix path only.
+    """
+    if isinstance(data, CorrelationInstance):
+        if weights is not None:
+            raise ValueError("weights are only supported on the label-matrix path")
+        matrix = None
+        instance = data
+        n = instance.n
+    else:
+        matrix = np.asarray(data)
+        validate_label_matrix(matrix)
+        instance = None
+        n = matrix.shape[0]
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (n,):
+                raise ValueError("weights must give one multiplicity per row")
+    generator = np.random.default_rng(rng)
+    size = default_sample_size(n) if sample_size is None else min(sample_size, n)
+    if size < 1:
+        raise ValueError("sample_size must be at least 1")
+
+    labels = np.full(n, -1, dtype=np.int64)
+    details = SamplingDetails(
+        sample_indices=np.empty(0, dtype=np.int64),
+        sample_clusters=0,
+        assigned_to_clusters=0,
+        leftover_singletons=0,
+        recursed=False,
+    )
+
+    # ------------------------------------------------------------------
+    # Phase 1: cluster the sample with the inner algorithm.
+    # ------------------------------------------------------------------
+    if weights is not None:
+        probabilities = weights / weights.sum()
+        sample = np.sort(generator.choice(n, size=size, replace=False, p=probabilities))
+    else:
+        sample = np.sort(generator.choice(n, size=size, replace=False))
+    details.sample_indices = sample
+    if matrix is not None:
+        sub = CorrelationInstance.from_label_matrix(
+            matrix[sample], p=p, weights=None if weights is None else weights[sample]
+        )
+    else:
+        sub = instance.subinstance(sample)
+    sample_clustering = inner(sub)
+    details.sample_clusters = sample_clustering.k
+    labels[sample] = sample_clustering.labels
+
+    # ------------------------------------------------------------------
+    # Phase 2: assign every non-sampled object to the cheapest cluster.
+    # ------------------------------------------------------------------
+    rest = np.setdiff1d(np.arange(n), sample, assume_unique=True)
+    if rest.size:
+        if matrix is not None:
+            tables = ClusterCountTables(
+                matrix,
+                sample,
+                sample_clustering.labels,
+                p=p,
+                member_weights=None if weights is None else weights[sample],
+            )
+            for start in range(0, rest.size, _ASSIGN_BLOCK):
+                block = rest[start : start + _ASSIGN_BLOCK]
+                labels[block] = tables.assign(block)
+        else:
+            X = instance.X
+            sizes = sample_clustering.sizes().astype(np.float64)
+            for start in range(0, rest.size, _ASSIGN_BLOCK):
+                block = rest[start : start + _ASSIGN_BLOCK]
+                rows = X[np.ix_(block, sample)].astype(np.float64)
+                mass = np.zeros((block.size, sample_clustering.k))
+                for cluster, members in enumerate(sample_clustering.clusters()):
+                    mass[:, cluster] = rows[:, members].sum(axis=1)
+                scores = 2.0 * mass - sizes[None, :]
+                best = np.argmin(scores, axis=1)
+                chosen = best.astype(np.int64)
+                chosen[scores[np.arange(block.size), best] > 0.0] = -1
+                labels[block] = chosen
+
+    # ------------------------------------------------------------------
+    # Phase 3: collect all singletons and aggregate them among themselves.
+    # ------------------------------------------------------------------
+    counts = np.bincount(labels[labels >= 0], minlength=sample_clustering.k)
+    singleton_clusters = np.flatnonzero(counts == 1)
+    is_singleton = labels < 0
+    if singleton_clusters.size:
+        is_singleton |= np.isin(labels, singleton_clusters)
+    singles = np.flatnonzero(is_singleton)
+    details.assigned_to_clusters = int(rest.size - np.count_nonzero(labels[rest] < 0))
+    details.leftover_singletons = int(singles.size)
+
+    next_label = int(labels.max()) + 1 if np.any(labels >= 0) else 0
+    if singles.size > 1:
+        if singles.size > max_singleton_subproblem:
+            details.recursed = True
+            inner_result = sampling(
+                matrix[singles] if matrix is not None else instance.subinstance(singles),
+                inner,
+                sample_size=size,
+                p=p,
+                rng=generator,
+                max_singleton_subproblem=max_singleton_subproblem,
+                weights=None if weights is None or matrix is None else weights[singles],
+            )
+            labels[singles] = next_label + inner_result.labels
+        else:
+            if matrix is not None:
+                single_instance = CorrelationInstance.from_label_matrix(
+                    matrix[singles],
+                    p=p,
+                    weights=None if weights is None else weights[singles],
+                )
+            else:
+                single_instance = instance.subinstance(singles)
+            regrouped = inner(single_instance)
+            labels[singles] = next_label + regrouped.labels.astype(np.int64)
+    elif singles.size == 1:
+        labels[singles] = next_label
+
+    result = Clustering(labels)
+    if return_details:
+        return result, details
+    return result

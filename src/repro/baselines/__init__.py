@@ -1,0 +1,6 @@
+"""Categorical-clustering baselines the paper compares against (§5.2)."""
+
+from .limbo import limbo
+from .rock import rock, rock_goodness_exponent
+
+__all__ = ["limbo", "rock", "rock_goodness_exponent"]

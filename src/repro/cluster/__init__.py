@@ -1,0 +1,35 @@
+"""Vanilla clustering substrate: k-means and hierarchical linkages.
+
+These are the algorithms the paper's experiments aggregate (Matlab's
+single / complete / average linkage, Ward, and k-means in the original),
+reimplemented from scratch on numpy.
+"""
+
+from .dbscan import dbscan
+from .distances import (
+    euclidean_matrix,
+    hamming_fraction_matrix,
+    jaccard_cross_similarity,
+    jaccard_similarity_matrix,
+    squared_euclidean,
+)
+from .kmeans import KMeansResult, kmeans
+from .linkage import LinkageResult, hierarchical, linkage
+from .model_selection import kmeans_bic, select_k_bic, select_k_cross_validation
+
+__all__ = [
+    "dbscan",
+    "euclidean_matrix",
+    "hamming_fraction_matrix",
+    "jaccard_cross_similarity",
+    "jaccard_similarity_matrix",
+    "squared_euclidean",
+    "KMeansResult",
+    "kmeans",
+    "LinkageResult",
+    "hierarchical",
+    "linkage",
+    "kmeans_bic",
+    "select_k_bic",
+    "select_k_cross_validation",
+]

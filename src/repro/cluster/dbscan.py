@@ -1,0 +1,82 @@
+"""DBSCAN — a density-based member for the vanilla substrate.
+
+Not used by the paper's own experiments, but a natural extra voice for
+the robustness application of §2 ("combining the results of many
+clustering algorithms"): DBSCAN contributes a density view that the
+linkage family lacks, and its noise points (label ``-1`` is converted to
+per-point singleton clusters) feed straight into aggregation's outlier
+handling.
+
+Plain O(n^2) implementation over the dense distance matrix — consistent
+with the rest of the substrate and fine at the sizes the 2-D experiments
+use.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .distances import euclidean_matrix
+
+__all__ = ["dbscan"]
+
+
+def dbscan(
+    points: np.ndarray | None = None,
+    eps: float = 0.5,
+    min_samples: int = 5,
+    distances: np.ndarray | None = None,
+    noise_as_singletons: bool = True,
+) -> np.ndarray:
+    """Density-based clustering; returns integer labels.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` Euclidean data (or give ``distances``).
+    eps:
+        Neighbourhood radius.
+    min_samples:
+        Core-point threshold (neighbours within ``eps``, incl. itself).
+    distances:
+        Precomputed symmetric distance matrix instead of points.
+    noise_as_singletons:
+        When True (default) each noise point gets its own fresh label, so
+        the result is a valid :class:`~repro.core.partition.Clustering`
+        input; when False noise keeps the sklearn-style ``-1``.
+    """
+    if (points is None) == (distances is None):
+        raise ValueError("provide exactly one of points or distances")
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    if min_samples < 1:
+        raise ValueError("min_samples must be at least 1")
+    if distances is None:
+        distances = euclidean_matrix(np.asarray(points, dtype=np.float64))
+    n = distances.shape[0]
+
+    neighbours = [np.flatnonzero(distances[i] <= eps) for i in range(n)]
+    core = np.array([len(nbrs) >= min_samples for nbrs in neighbours])
+
+    labels = np.full(n, -1, dtype=np.int64)
+    cluster = 0
+    for seed in range(n):
+        if labels[seed] != -1 or not core[seed]:
+            continue
+        # Breadth-first expansion from the core seed.
+        labels[seed] = cluster
+        queue = deque(neighbours[seed].tolist())
+        while queue:
+            point = queue.popleft()
+            if labels[point] == -1:
+                labels[point] = cluster
+                if core[point]:
+                    queue.extend(neighbours[point].tolist())
+        cluster += 1
+
+    if noise_as_singletons:
+        noise = np.flatnonzero(labels == -1)
+        labels[noise] = cluster + np.arange(noise.size)
+    return labels

@@ -1,0 +1,134 @@
+"""k-means (Lloyd's algorithm), implemented from scratch.
+
+The paper's robustness experiments (Figures 3–5) feed Matlab's ``kmeans``
+outputs into the aggregator; this module is the equivalent substrate.
+Features: k-means++ or uniform-random initialization, multiple restarts
+keeping the lowest inertia, empty-cluster repair by re-seeding on the
+farthest point, and deterministic behaviour under a seeded generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .distances import squared_euclidean
+
+__all__ = ["KMeansResult", "kmeans"]
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of one :func:`kmeans` call."""
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    iterations: int
+    converged: bool
+
+
+def _init_centers(
+    points: np.ndarray, k: int, rng: np.random.Generator, init: str
+) -> np.ndarray:
+    n = points.shape[0]
+    if init == "random":
+        chosen = rng.choice(n, size=k, replace=False)
+        return points[chosen].copy()
+    if init == "k-means++":
+        centers = np.empty((k, points.shape[1]), dtype=np.float64)
+        centers[0] = points[rng.integers(n)]
+        closest = squared_euclidean(points, centers[:1])[:, 0]
+        for i in range(1, k):
+            total = closest.sum()
+            if total <= 0:
+                # All points coincide with chosen centers; fill uniformly.
+                centers[i] = points[rng.integers(n)]
+                continue
+            probabilities = closest / total
+            centers[i] = points[rng.choice(n, p=probabilities)]
+            distance_to_new = squared_euclidean(points, centers[i : i + 1])[:, 0]
+            np.minimum(closest, distance_to_new, out=closest)
+        return centers
+    raise ValueError(f"unknown init {init!r}; use 'k-means++' or 'random'")
+
+
+def _lloyd(
+    points: np.ndarray, centers: np.ndarray, max_iter: int, tol: float
+) -> KMeansResult:
+    k = centers.shape[0]
+    labels = np.zeros(points.shape[0], dtype=np.int64)
+    for iteration in range(1, max_iter + 1):
+        distances = squared_euclidean(points, centers)
+        labels = distances.argmin(axis=1)
+        new_centers = np.empty_like(centers)
+        counts = np.bincount(labels, minlength=k)
+        for cluster in range(k):
+            if counts[cluster] == 0:
+                # Empty-cluster repair: re-seed on the point farthest from
+                # its current center (Matlab's 'singleton' action).
+                assigned = distances[np.arange(points.shape[0]), labels]
+                farthest = int(np.argmax(assigned))
+                new_centers[cluster] = points[farthest]
+                labels[farthest] = cluster
+                distances[farthest] = 0.0
+            else:
+                new_centers[cluster] = points[labels == cluster].mean(axis=0)
+        shift = float(np.abs(new_centers - centers).max())
+        centers = new_centers
+        if shift <= tol:
+            final = squared_euclidean(points, centers)
+            labels = final.argmin(axis=1)
+            inertia = float(final[np.arange(points.shape[0]), labels].sum())
+            return KMeansResult(labels, centers, inertia, iteration, True)
+    final = squared_euclidean(points, centers)
+    labels = final.argmin(axis=1)
+    inertia = float(final[np.arange(points.shape[0]), labels].sum())
+    return KMeansResult(labels, centers, inertia, max_iter, False)
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    n_init: int = 10,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+    init: str = "k-means++",
+    rng: np.random.Generator | int | None = None,
+) -> KMeansResult:
+    """Cluster ``(n, d)`` points into ``k`` groups, keeping the best of ``n_init`` runs.
+
+    Parameters
+    ----------
+    points:
+        Data matrix, one row per point.
+    k:
+        Number of clusters (1 <= k <= n).
+    n_init:
+        Independent restarts; the run with the lowest inertia wins.
+    max_iter, tol:
+        Lloyd-iteration budget and center-shift convergence tolerance.
+    init:
+        ``"k-means++"`` (default) or ``"random"`` seeding.
+    rng:
+        Seed or generator for reproducibility.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {points.shape}")
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in 1..{n}, got {k}")
+    if n_init < 1:
+        raise ValueError("n_init must be positive")
+    generator = np.random.default_rng(rng)
+
+    best: KMeansResult | None = None
+    for _ in range(n_init):
+        centers = _init_centers(points, k, generator, init)
+        result = _lloyd(points, centers, max_iter, tol)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best

@@ -1,0 +1,117 @@
+"""Choosing k for the vanilla algorithms — the §2 counterpoint.
+
+The paper's §2 ("Identifying the correct number of clusters") lists the
+classical remedies for k-selection — hard constraints, BIC, cross-
+validated likelihood [16, 18] — before arguing that aggregation makes
+them unnecessary.  To let the A6 ablation *measure* that claim we
+implement the remedies for k-means:
+
+* :func:`kmeans_bic` — BIC under the spherical-Gaussian interpretation of
+  k-means (the X-means criterion of Pelleg & Moore / Hamerly & Elkan's
+  baseline [16]).
+* :func:`select_k_bic` — sweep a k range, return per-k scores and argmax.
+* :func:`select_k_cross_validation` — Smyth's cross-validated likelihood
+  [18]: fit on a train split, score held-out points, pick the k with the
+  best average held-out log-likelihood.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .distances import squared_euclidean
+from .kmeans import KMeansResult, kmeans
+
+__all__ = ["kmeans_bic", "select_k_bic", "select_k_cross_validation"]
+
+
+def _log_likelihood(points: np.ndarray, result: KMeansResult) -> float:
+    """Spherical-Gaussian log-likelihood of a fitted k-means model."""
+    n, d = points.shape
+    k = result.centers.shape[0]
+    if n <= k:
+        return -np.inf
+    # Pooled ML variance estimate (X-means).
+    variance = result.inertia / (d * (n - k))
+    variance = max(variance, 1e-12)
+    sizes = np.bincount(result.labels, minlength=k).astype(np.float64)
+    sizes = sizes[sizes > 0]
+    log_prior = float((sizes * np.log(sizes / n)).sum())
+    log_density = (
+        -0.5 * n * d * np.log(2.0 * np.pi * variance)
+        - result.inertia / (2.0 * variance)
+    )
+    return log_prior + log_density
+
+
+def kmeans_bic(points: np.ndarray, result: KMeansResult) -> float:
+    """BIC of a fitted k-means clustering (higher is better here)."""
+    points = np.asarray(points, dtype=np.float64)
+    n, d = points.shape
+    k = result.centers.shape[0]
+    n_parameters = k * d + k - 1 + 1  # centers + mixing weights + variance
+    return _log_likelihood(points, result) - 0.5 * n_parameters * np.log(n)
+
+
+def select_k_bic(
+    points: np.ndarray,
+    k_range: range = range(2, 11),
+    rng: np.random.Generator | int | None = 0,
+    **kmeans_params,
+) -> tuple[int, dict[int, float]]:
+    """Pick k for k-means by BIC; returns ``(best_k, scores)``."""
+    points = np.asarray(points, dtype=np.float64)
+    generator = np.random.default_rng(rng)
+    scores: dict[int, float] = {}
+    for k in k_range:
+        if k > len(points):
+            break
+        result = kmeans(points, k, rng=generator, **kmeans_params)
+        scores[k] = kmeans_bic(points, result)
+    best = max(scores, key=scores.get)
+    return best, scores
+
+
+def select_k_cross_validation(
+    points: np.ndarray,
+    k_range: range = range(2, 11),
+    folds: int = 5,
+    rng: np.random.Generator | int | None = 0,
+    **kmeans_params,
+) -> tuple[int, dict[int, float]]:
+    """Smyth's cross-validated likelihood: pick the k that explains held-out data best."""
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    if folds < 2 or folds > n:
+        raise ValueError(f"folds must be in 2..{n}")
+    generator = np.random.default_rng(rng)
+    order = generator.permutation(n)
+    fold_of = np.arange(n) % folds
+
+    scores: dict[int, float] = {}
+    for k in k_range:
+        if k >= n - n // folds:
+            break
+        total = 0.0
+        for fold in range(folds):
+            train = points[order[fold_of != fold]]
+            held_out = points[order[fold_of == fold]]
+            result = kmeans(train, k, rng=generator, **kmeans_params)
+            # Held-out log-likelihood under the fitted spherical model.
+            d = points.shape[1]
+            variance = max(result.inertia / (d * max(len(train) - k, 1)), 1e-12)
+            sizes = np.bincount(result.labels, minlength=k).astype(np.float64) / len(train)
+            sizes = np.maximum(sizes, 1e-12)
+            sq = squared_euclidean(held_out, result.centers)
+            log_components = (
+                np.log(sizes)[None, :]
+                - 0.5 * d * np.log(2.0 * np.pi * variance)
+                - sq / (2.0 * variance)
+            )
+            row_max = log_components.max(axis=1, keepdims=True)
+            total += float(
+                (np.log(np.exp(log_components - row_max).sum(axis=1)) + row_max[:, 0]).sum()
+            )
+        scores[k] = total / folds
+    best = max(scores, key=scores.get)
+    return best, scores

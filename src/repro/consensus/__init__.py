@@ -1,0 +1,27 @@
+"""Related-work consensus methods (paper §6), built on the same core.
+
+These are the methods the paper positions itself against: Fred & Jain's
+evidence accumulation, Topchy et al.'s mixture model, and Strehl &
+Ghosh's hypergraph formulations.  They complement the ROCK/LIMBO
+categorical baselines of :mod:`repro.baselines` — those compete on the
+categorical-data application; the methods here compete on the consensus
+problem itself (and, unlike the paper's algorithms, all need ``k`` or a
+model-selection loop).
+"""
+
+from .coassociation import coassociation_matrix
+from .evidence import evidence_accumulation
+from .genetic import genetic_consensus
+from .hypergraph import cspa, mcla
+from .mixture import MixtureResult, mixture_consensus, mixture_consensus_bic
+
+__all__ = [
+    "coassociation_matrix",
+    "evidence_accumulation",
+    "genetic_consensus",
+    "cspa",
+    "mcla",
+    "MixtureResult",
+    "mixture_consensus",
+    "mixture_consensus_bic",
+]

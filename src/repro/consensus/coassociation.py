@@ -1,0 +1,33 @@
+"""Co-association (evidence) matrices — shared substrate of the §6 methods.
+
+Most consensus-clustering methods the paper cites operate on the
+*co-association matrix*: ``A[u, v]`` = fraction of input clusterings that
+place ``u`` and ``v`` together.  It is exactly ``1 - X`` for the
+aggregation instance's disagreement fractions, so the two views share one
+implementation; this module provides the agreement-flavoured API the
+related-work methods are written against, including the missing-value
+coin-flip convention (a missing entry contributes ``p`` agreement).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import disagreement_fractions
+from ..core.labels import validate_label_matrix
+
+__all__ = ["coassociation_matrix"]
+
+
+def coassociation_matrix(
+    matrix: np.ndarray, p: float = 0.5, dtype: np.dtype | type | None = None
+) -> np.ndarray:
+    """The agreement fractions ``A = 1 - X`` of a label matrix.
+
+    ``A[u, u]`` is set to 1.  Missing-involved pairs contribute ``p``
+    (the coin-flip model of the paper's §2).
+    """
+    validate_label_matrix(matrix)
+    agreement = 1.0 - disagreement_fractions(matrix, p=p, dtype=dtype)
+    np.fill_diagonal(agreement, 1.0)
+    return agreement

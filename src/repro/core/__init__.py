@@ -1,0 +1,29 @@
+"""Core framework: partitions, distances, correlation instances, aggregation API."""
+
+from .aggregate import AggregationResult, aggregate, available_methods
+from .atoms import AtomCollapse, collapse_duplicates
+from .distance import clustering_distance, normalized_distance, total_disagreement
+from .instance import CorrelationInstance, disagreement_fractions
+from .labels import MISSING, as_label_matrix, columns_as_clusterings, contingency_table
+from .objective import ClusterCountTables, MoveEvaluator
+from .partition import Clustering
+
+__all__ = [
+    "AggregationResult",
+    "aggregate",
+    "available_methods",
+    "AtomCollapse",
+    "collapse_duplicates",
+    "clustering_distance",
+    "normalized_distance",
+    "total_disagreement",
+    "CorrelationInstance",
+    "disagreement_fractions",
+    "MISSING",
+    "as_label_matrix",
+    "columns_as_clusterings",
+    "contingency_table",
+    "ClusterCountTables",
+    "MoveEvaluator",
+    "Clustering",
+]

@@ -1,0 +1,252 @@
+"""The top-level clustering-aggregation API.
+
+:func:`aggregate` is the one-call entry point of the library: give it the
+input clusterings (as :class:`Clustering` objects or a label matrix) and an
+algorithm name, get back an :class:`AggregationResult` carrying the
+consensus clustering together with its objective value, the pairwise lower
+bound, and timing.
+
+    >>> from repro import aggregate, Clustering
+    >>> inputs = [Clustering([0, 0, 1, 1, 2, 2]),
+    ...           Clustering([0, 1, 0, 1, 2, 3]),
+    ...           Clustering([0, 1, 0, 1, 2, 2])]
+    >>> result = aggregate(inputs, method="agglomerative")
+    >>> result.clustering.k
+    3
+    >>> result.disagreements
+    5.0
+
+(The doctest above is the paper's Figure 1 / Figure 2 running example —
+five disagreements is optimal.)
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..algorithms.agglomerative import agglomerative
+from ..algorithms.annealing import simulated_annealing
+from ..algorithms.balls import balls
+from ..algorithms.best_clustering import best_clustering
+from ..algorithms.exact import exact_optimum
+from ..algorithms.furthest import furthest
+from ..algorithms.local_search import local_search
+from ..algorithms.sampling import sampling
+from .distance import total_disagreement
+from .instance import CorrelationInstance
+from .labels import as_label_matrix, validate_label_matrix
+from .partition import Clustering
+
+__all__ = ["aggregate", "AggregationResult", "available_methods", "resolve_inner"]
+
+#: Algorithms that consume a CorrelationInstance and return a Clustering.
+_INSTANCE_METHODS: dict[str, Callable[..., Clustering]] = {
+    "balls": balls,
+    "agglomerative": agglomerative,
+    "furthest": furthest,
+    "local-search": local_search,
+    "annealing": simulated_annealing,
+    "exact": lambda instance, **kw: exact_optimum(instance, **kw)[0],
+}
+
+#: Algorithms that consume the label matrix directly.
+_MATRIX_METHODS = ("best", "sampling")
+
+
+def available_methods() -> tuple[str, ...]:
+    """Names accepted by :func:`aggregate`'s ``method`` parameter."""
+    return tuple(sorted((*_INSTANCE_METHODS, *_MATRIX_METHODS)))
+
+
+def resolve_inner(inner: str | Callable[..., Clustering]) -> Callable[[CorrelationInstance], Clustering]:
+    """Resolve SAMPLING's inner algorithm from a name or callable."""
+    if callable(inner):
+        return inner
+    if inner in _INSTANCE_METHODS:
+        return _INSTANCE_METHODS[inner]
+    raise ValueError(
+        f"unknown inner algorithm {inner!r}; choose from {sorted(_INSTANCE_METHODS)}"
+    )
+
+
+@dataclass
+class AggregationResult:
+    """Outcome of one :func:`aggregate` call.
+
+    Attributes
+    ----------
+    clustering:
+        The consensus clustering.
+    method:
+        Algorithm name that produced it.
+    disagreements:
+        The aggregation objective ``D(C)`` (expected value under the
+        coin-flip model when inputs have missing entries); ``None`` when
+        the inputs were a raw correlation instance of unknown origin.
+    cost:
+        The correlation-clustering cost ``d(C)`` (``disagreements / m``).
+    lower_bound:
+        Pairwise lower bound on ``d(C)`` — only computed when the full
+        distance matrix was materialized (``None`` on the sampling path).
+    disagreement_lower_bound:
+        Same bound on the ``D(C)`` scale, when ``m`` is known.
+    elapsed_seconds:
+        Wall-clock time of the algorithm itself (instance construction is
+        reported separately in ``build_seconds``).
+    """
+
+    clustering: Clustering
+    method: str
+    disagreements: float | None
+    cost: float | None
+    lower_bound: float | None
+    disagreement_lower_bound: float | None
+    elapsed_seconds: float
+    build_seconds: float
+    params: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def k(self) -> int:
+        """Number of clusters in the consensus."""
+        return self.clustering.k
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        parts = [f"method={self.method}", f"k={self.k}"]
+        if self.disagreements is not None:
+            parts.append(f"D(C)={self.disagreements:.1f}")
+        if self.disagreement_lower_bound is not None:
+            parts.append(f"LB={self.disagreement_lower_bound:.1f}")
+        parts.append(f"time={self.elapsed_seconds:.3f}s")
+        return "  ".join(parts)
+
+
+def aggregate(
+    inputs: Sequence[Clustering] | np.ndarray | CorrelationInstance,
+    method: str = "agglomerative",
+    p: float = 0.5,
+    compute_lower_bound: bool = True,
+    collapse: bool = False,
+    **params: Any,
+) -> AggregationResult:
+    """Aggregate input clusterings into a consensus clustering.
+
+    Parameters
+    ----------
+    inputs:
+        A sequence of :class:`Clustering` objects, an ``(n, m)`` label
+        matrix (``-1`` marks missing entries), or a prebuilt
+        :class:`CorrelationInstance` (for raw correlation clustering).
+    method:
+        One of :func:`available_methods`: ``"best"``, ``"balls"``,
+        ``"agglomerative"``, ``"furthest"``, ``"local-search"``,
+        ``"annealing"`` (Filkov-Skiena simulated annealing, §6),
+        ``"sampling"``, or ``"exact"``.
+    p:
+        Missing-value coin-flip probability (Section 2 of the paper).
+    compute_lower_bound:
+        Whether to evaluate the pairwise lower bound (quadratic; skipped
+        automatically when no distance matrix is materialized).
+    collapse:
+        Collapse duplicate label-matrix rows into weighted atoms before
+        clustering (exact for the objective — some optimal solution keeps
+        duplicates together), then expand the consensus back.  A large
+        speedup on categorical data with repeated rows; supported by all
+        methods except ``"best"`` (which needs no speedup).
+    **params:
+        Forwarded to the algorithm (e.g. ``alpha=0.4`` for BALLS,
+        ``inner="furthest"`` and ``sample_size=1000`` for SAMPLING,
+        ``initial=...`` for LOCALSEARCH).
+    """
+    matrix: np.ndarray | None = None
+    instance: CorrelationInstance | None = None
+    if isinstance(inputs, CorrelationInstance):
+        instance = inputs
+    elif isinstance(inputs, np.ndarray):
+        validate_label_matrix(inputs)
+        matrix = inputs
+    elif hasattr(inputs, "label_matrix"):
+        # Duck-typed CategoricalDataset: its attributes are the clusterings.
+        matrix = inputs.label_matrix()
+        validate_label_matrix(matrix)
+    else:
+        matrix = as_label_matrix(inputs)
+
+    atoms = None
+    build_start = time.perf_counter()
+    if collapse:
+        if matrix is None or method == "best":
+            raise ValueError(
+                "collapse=True needs a label matrix and is not meaningful for "
+                f"method {method!r}"
+            )
+        from .atoms import collapse_duplicates
+
+        atoms = collapse_duplicates(matrix)
+    if instance is None and method in _INSTANCE_METHODS:
+        if atoms is not None:
+            instance = CorrelationInstance.from_label_matrix(
+                atoms.matrix, p=p, weights=atoms.weights
+            )
+        else:
+            instance = CorrelationInstance.from_label_matrix(matrix, p=p)
+    build_seconds = time.perf_counter() - build_start
+
+    start = time.perf_counter()
+    if method in _INSTANCE_METHODS:
+        if instance is None:
+            raise ValueError(f"method {method!r} requires a distance matrix")
+        clustering = _INSTANCE_METHODS[method](instance, **params)
+        if atoms is not None:
+            clustering = atoms.expand(clustering)
+    elif method == "best":
+        if matrix is None:
+            raise ValueError("method 'best' needs the input clusterings, not a raw instance")
+        clustering = best_clustering(matrix, p=p, **params)
+    elif method == "sampling":
+        inner = resolve_inner(params.pop("inner", "agglomerative"))
+        if atoms is not None:
+            clustering = atoms.expand(
+                sampling(atoms.matrix, inner, p=p, weights=atoms.weights.astype(np.float64), **params)
+            )
+        else:
+            data = matrix if matrix is not None else instance
+            clustering = sampling(data, inner, p=p, **params)
+    else:
+        raise ValueError(f"unknown method {method!r}; choose from {available_methods()}")
+    elapsed = time.perf_counter() - start
+
+    disagreements: float | None = None
+    cost: float | None = None
+    if matrix is not None:
+        disagreements = total_disagreement(matrix, clustering, p=p)
+        cost = disagreements / matrix.shape[1]
+    elif instance is not None:
+        cost = instance.cost(clustering)
+        if instance.m is not None:
+            disagreements = instance.m * cost
+
+    lower_bound: float | None = None
+    disagreement_lb: float | None = None
+    if compute_lower_bound and instance is not None:
+        lower_bound = instance.lower_bound()
+        m = instance.m if instance.m is not None else (matrix.shape[1] if matrix is not None else None)
+        if m is not None:
+            disagreement_lb = m * lower_bound
+
+    return AggregationResult(
+        clustering=clustering,
+        method=method,
+        disagreements=disagreements,
+        cost=cost,
+        lower_bound=lower_bound,
+        disagreement_lower_bound=disagreement_lb,
+        elapsed_seconds=elapsed,
+        build_seconds=build_seconds,
+        params=dict(params),
+    )

@@ -1,0 +1,75 @@
+"""Duplicate-row collapsing: solve the aggregation problem on *atoms*.
+
+Two objects with identical label-matrix rows are never separated by any
+input clustering, so their pairwise distance is 0 and some optimal
+aggregate keeps them together (splitting them can only add cost).  The
+categorical application makes such duplicates common — limited attribute
+combinations mean census-like tables collapse 2x or more — so the
+quadratic algorithms can run on the distinct rows ("atoms") with
+multiplicities, then expand the answer.
+
+The weighted problem is *exactly equivalent*: give atom ``a`` weight
+``w_a`` (its duplicate count); every inter-atom pair contributes
+``w_a * w_b`` object pairs and intra-atom pairs contribute 0 whenever the
+atom stays whole.  :class:`~repro.core.instance.CorrelationInstance`
+accepts the weights and the instance-based algorithms honour them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .labels import validate_label_matrix
+from .partition import Clustering
+
+__all__ = ["AtomCollapse", "collapse_duplicates"]
+
+
+@dataclass
+class AtomCollapse:
+    """The result of collapsing duplicate rows of a label matrix.
+
+    Attributes
+    ----------
+    matrix:
+        ``(a, m)`` reduced label matrix with one row per distinct input row.
+    weights:
+        ``(a,)`` duplicate counts.
+    inverse:
+        ``(n,)`` map from original row index to its atom index.
+    """
+
+    matrix: np.ndarray
+    weights: np.ndarray
+    inverse: np.ndarray
+
+    @property
+    def n_atoms(self) -> int:
+        return int(self.matrix.shape[0])
+
+    @property
+    def n_objects(self) -> int:
+        return int(self.inverse.shape[0])
+
+    def expand(self, atom_clustering: Clustering) -> Clustering:
+        """Lift a clustering of the atoms back to the original objects."""
+        if atom_clustering.n != self.n_atoms:
+            raise ValueError(
+                f"clustering covers {atom_clustering.n} atoms, expected {self.n_atoms}"
+            )
+        return Clustering(atom_clustering.labels[self.inverse])
+
+
+def collapse_duplicates(matrix: np.ndarray) -> AtomCollapse:
+    """Group identical rows of a label matrix into weighted atoms."""
+    validate_label_matrix(matrix)
+    unique, inverse, counts = np.unique(
+        matrix, axis=0, return_inverse=True, return_counts=True
+    )
+    return AtomCollapse(
+        matrix=np.ascontiguousarray(unique),
+        weights=counts.astype(np.int64),
+        inverse=inverse.astype(np.int64),
+    )

@@ -1,0 +1,325 @@
+"""Correlation-clustering instances (Problem 2 of the paper).
+
+A correlation-clustering instance over ``n`` objects is a symmetric matrix
+``X`` with entries in ``[0, 1]`` and zero diagonal.  ``X[u, v]`` is the
+*distance* between ``u`` and ``v``; a candidate clustering ``C`` pays
+``X[u, v]`` for every co-clustered pair and ``1 - X[u, v]`` for every
+separated pair:
+
+    d(C) = sum_{C(u) = C(v)} X_uv  +  sum_{C(u) != C(v)} (1 - X_uv)
+
+(unordered pairs).  An instance built from ``m`` input clusterings sets
+``X[u, v]`` to the fraction of clusterings separating ``u`` and ``v``, so
+that the aggregation objective satisfies ``D(C) = m * d(C)`` and the two
+problems coincide.  Such instances obey the triangle inequality, which the
+BALLS analysis exploits.
+
+Missing entries in the label matrix follow the coin-flip model of Section
+2: a clustering missing ``u`` or ``v`` reports the pair co-clustered with
+probability ``p``, contributing ``1 - p`` to ``X[u, v]`` in expectation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .labels import MISSING, as_label_matrix, validate_label_matrix
+from .partition import Clustering
+
+__all__ = ["CorrelationInstance", "disagreement_fractions"]
+
+#: Row-block size for the blocked construction of the X matrix.
+_BLOCK_ROWS = 2048
+
+
+def disagreement_fractions(
+    matrix: np.ndarray,
+    p: float = 0.5,
+    dtype: np.dtype | type | None = None,
+    missing: str = "coin-flip",
+) -> np.ndarray:
+    """The ``X`` matrix of pairwise disagreement fractions of a label matrix.
+
+    ``X[u, v]`` is the (expected) fraction of the ``m`` columns that place
+    ``u`` and ``v`` in different clusters.  Missing entries follow one of
+    the two strategies of the paper's §2:
+
+    * ``missing="coin-flip"`` (default, the paper's choice): a clustering
+      missing either object reports the pair co-clustered with probability
+      ``p``, contributing ``1 - p`` in expectation; the denominator stays
+      ``m``.
+    * ``missing="average"``: "let the remaining attributes decide" — only
+      columns concrete on *both* objects are counted, and the fraction is
+      taken over those; a pair with no commonly-concrete column gets the
+      uninformative 0.5.
+
+    Computed in row blocks to bound temporary memory; defaults to float64
+    up to 4096 objects and float32 beyond.
+    """
+    validate_label_matrix(matrix)
+    if missing not in ("coin-flip", "average"):
+        raise ValueError(f"missing must be 'coin-flip' or 'average', got {missing!r}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be a probability, got {p}")
+    n, m = matrix.shape
+    if dtype is None:
+        dtype = np.float64 if n <= 4096 else np.float32
+    X = np.zeros((n, n), dtype=dtype)
+    np_dtype = dtype if isinstance(dtype, np.dtype) else np.dtype(dtype)
+    one_minus_p = np_dtype.type(1.0 - p)
+    for start in range(0, n, _BLOCK_ROWS):
+        stop = min(start + _BLOCK_ROWS, n)
+        block = np.zeros((stop - start, n), dtype=dtype)
+        comparable = np.zeros((stop - start, n), dtype=dtype) if missing == "average" else None
+        for j in range(m):
+            column = matrix[:, j]
+            row_part = column[start:stop]
+            missing_rows = row_part == MISSING
+            missing_cols = column == MISSING
+            different = row_part[:, None] != column[None, :]
+            missing_pair = missing_rows[:, None] | missing_cols[None, :]
+            if missing == "coin-flip":
+                block += np.where(missing_pair, one_minus_p, different.astype(dtype))
+            else:
+                both_present = ~missing_pair
+                block += (different & both_present).astype(dtype)
+                comparable += both_present.astype(dtype)
+        if missing == "coin-flip":
+            block /= m
+        else:
+            with np.errstate(invalid="ignore", divide="ignore"):
+                block /= comparable
+            block[comparable == 0] = np_dtype.type(0.5)
+        X[start:stop] = block
+    np.fill_diagonal(X, 0.0)
+    return X
+
+
+class CorrelationInstance:
+    """A correlation-clustering input: symmetric pairwise distances in [0, 1].
+
+    Construct with :meth:`from_clusterings` / :meth:`from_label_matrix` for
+    aggregation problems, or :meth:`from_distances` for a raw correlation
+    instance.  ``m`` records how many input clusterings produced the
+    instance (``None`` for raw instances); when known, costs convert to
+    aggregation disagreements via :meth:`disagreements`.
+    """
+
+    __slots__ = ("_X", "_m", "_weights")
+
+    def __init__(
+        self,
+        distances: np.ndarray,
+        m: int | None = None,
+        validate: bool = True,
+        weights: np.ndarray | None = None,
+    ):
+        X = np.asarray(distances)
+        if validate:
+            self._validate(X)
+        self._X = X
+        if m is not None and m < 1:
+            raise ValueError("m must be a positive count of input clusterings")
+        self._m = m
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (X.shape[0],):
+                raise ValueError("weights must give one multiplicity per object")
+            if np.any(weights < 1):
+                raise ValueError("weights must be >= 1 (duplicate multiplicities)")
+        self._weights = weights
+
+    @staticmethod
+    def _validate(X: np.ndarray) -> None:
+        if X.ndim != 2 or X.shape[0] != X.shape[1]:
+            raise ValueError(f"distance matrix must be square, got shape {X.shape}")
+        if X.shape[0] == 0:
+            raise ValueError("instance must contain at least one object")
+        if not np.issubdtype(X.dtype, np.floating):
+            raise TypeError(f"distances must be floating point, got {X.dtype}")
+        if np.any(np.diagonal(X) != 0):
+            raise ValueError("distance matrix must have a zero diagonal")
+        # Tolerate float32 rounding when checking symmetry and range.
+        if not np.allclose(X, X.T, atol=1e-6):
+            raise ValueError("distance matrix must be symmetric")
+        if float(X.min()) < -1e-9 or float(X.max()) > 1 + 1e-6:
+            raise ValueError("distances must lie in [0, 1]")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_label_matrix(
+        cls,
+        matrix: np.ndarray,
+        p: float = 0.5,
+        dtype: np.dtype | type | None = None,
+        missing: str = "coin-flip",
+        weights: np.ndarray | None = None,
+    ) -> "CorrelationInstance":
+        """Build the aggregation instance of an ``(n, m)`` label matrix.
+
+        ``missing`` selects the §2 missing-value strategy; note that with
+        ``"average"`` the per-pair denominators differ, so the exact
+        identity ``D(C) = m * d(C)`` holds only for ``"coin-flip"``.
+        ``weights`` gives per-row multiplicities for duplicate-collapsed
+        (atom) instances — see :mod:`repro.core.atoms`.
+        """
+        X = disagreement_fractions(matrix, p=p, dtype=dtype, missing=missing)
+        return cls(X, m=matrix.shape[1], validate=False, weights=weights)
+
+    @classmethod
+    def from_clusterings(
+        cls, clusterings: Sequence[Clustering | Sequence[int] | np.ndarray], p: float = 0.5
+    ) -> "CorrelationInstance":
+        """Build the aggregation instance of ``m`` clusterings."""
+        return cls.from_label_matrix(as_label_matrix(clusterings), p=p)
+
+    @classmethod
+    def from_distances(cls, distances: np.ndarray) -> "CorrelationInstance":
+        """Wrap a precomputed symmetric distance matrix (validated)."""
+        return cls(np.asarray(distances, dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def X(self) -> np.ndarray:
+        """The pairwise distance matrix (do not mutate)."""
+        return self._X
+
+    @property
+    def n(self) -> int:
+        """Number of objects."""
+        return int(self._X.shape[0])
+
+    @property
+    def m(self) -> int | None:
+        """Number of source clusterings, if the instance is an aggregation."""
+        return self._m
+
+    @property
+    def weights(self) -> np.ndarray | None:
+        """Per-object multiplicities for atom instances (``None`` = all 1)."""
+        return self._weights
+
+    def effective_weights(self) -> np.ndarray:
+        """Multiplicities as an array (ones when unweighted)."""
+        if self._weights is None:
+            return np.ones(self.n, dtype=np.float64)
+        return self._weights
+
+    def subinstance(self, indices: Sequence[int] | np.ndarray) -> "CorrelationInstance":
+        """The induced instance on a subset of the objects."""
+        idx = np.asarray(indices)
+        weights = None if self._weights is None else self._weights[idx]
+        return CorrelationInstance(
+            self._X[np.ix_(idx, idx)], m=self._m, validate=False, weights=weights
+        )
+
+    # ------------------------------------------------------------------
+    # Objective
+    # ------------------------------------------------------------------
+
+    def cost(self, clustering: Clustering | np.ndarray) -> float:
+        """The correlation-clustering cost ``d(C)`` of a candidate clustering.
+
+        Evaluated without materializing the pair masks:
+
+            d(C) = T - S_all + 2 * S_within - P_within
+
+        with ``T`` the pair count, ``S_all`` the sum of all distances,
+        ``S_within`` the within-cluster distance sum and ``P_within`` the
+        within-cluster pair count.  On weighted (atom) instances every
+        pair ``(u, v)`` counts ``w_u * w_v`` times and intra-atom pairs
+        contribute zero, making the value equal to the cost of the same
+        clustering on the expanded (duplicate-bearing) instance.
+        """
+        if isinstance(clustering, Clustering):
+            labels = clustering.labels
+        else:
+            labels = np.asarray(clustering)
+        if labels.shape != (self.n,):
+            raise ValueError("clustering size must match the instance size")
+        X = self._X
+        if self._weights is None:
+            n = self.n
+            total_pairs = n * (n - 1) / 2.0
+            sum_all = float(X.sum(dtype=np.float64)) / 2.0
+        else:
+            w = self._weights
+            total = float(w.sum())
+            total_pairs = (total * total - float((w * w).sum())) / 2.0
+            sum_all = float(w @ X.astype(np.float64) @ w) / 2.0
+        sum_within = 0.0
+        pairs_within = 0.0
+        order = np.argsort(labels, kind="stable")
+        sorted_labels = labels[order]
+        boundaries = np.flatnonzero(np.diff(sorted_labels)) + 1
+        for members in np.split(order, boundaries):
+            size = members.size
+            if size < 1:
+                continue
+            block = X[np.ix_(members, members)].astype(np.float64)
+            if self._weights is None:
+                if size < 2:
+                    continue
+                sum_within += float(block.sum()) / 2.0
+                pairs_within += size * (size - 1) / 2.0
+            else:
+                w_c = self._weights[members]
+                cluster_total = float(w_c.sum())
+                pairs_within += (cluster_total * cluster_total - float((w_c * w_c).sum())) / 2.0
+                sum_within += float(w_c @ block @ w_c) / 2.0
+        return total_pairs - sum_all + 2.0 * sum_within - pairs_within
+
+    def disagreements(self, clustering: Clustering | np.ndarray) -> float:
+        """The aggregation objective ``D(C) = m * d(C)`` (requires known ``m``)."""
+        if self._m is None:
+            raise ValueError("instance was not built from clusterings; m is unknown")
+        return self._m * self.cost(clustering)
+
+    def lower_bound(self) -> float:
+        """Pairwise lower bound ``sum_{u<v} min(X_uv, 1 - X_uv)`` on ``d(C)``.
+
+        Every clustering pays at least ``min(X, 1-X)`` per pair, so this
+        bounds the optimum from below (the paper's "Lower bound" table
+        rows, after multiplying by ``m`` via :meth:`disagreement_lower_bound`).
+        """
+        X = self._X
+        per_pair = np.minimum(X, 1.0 - X).astype(np.float64)
+        np.fill_diagonal(per_pair, 0.0)
+        if self._weights is None:
+            return float(per_pair.sum(dtype=np.float64)) / 2.0
+        w = self._weights
+        return float(w @ per_pair @ w) / 2.0
+
+    def disagreement_lower_bound(self) -> float:
+        """Lower bound on ``D(C)`` for aggregation instances (``m * lower_bound``)."""
+        if self._m is None:
+            raise ValueError("instance was not built from clusterings; m is unknown")
+        return self._m * self.lower_bound()
+
+    def max_triangle_violation(self) -> float:
+        """Largest ``X_uw - X_uv - X_vw`` over all triples (<= 0 means metric).
+
+        Exhaustive over triples; intended for tests and small instances.
+        """
+        X = self._X.astype(np.float64)
+        worst = -np.inf
+        for v in range(self.n):
+            # violation for (u, w) through v: X[u, w] - X[u, v] - X[v, w]
+            through_v = X - X[:, v][:, None] - X[v, :][None, :]
+            np.fill_diagonal(through_v, -np.inf)
+            through_v[v, :] = -np.inf
+            through_v[:, v] = -np.inf
+            worst = max(worst, float(through_v.max()))
+        return worst
+
+    def __repr__(self) -> str:
+        origin = f", m={self._m}" if self._m is not None else ""
+        return f"CorrelationInstance(n={self.n}{origin})"

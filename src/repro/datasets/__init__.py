@@ -1,0 +1,26 @@
+"""Dataset generators mirroring the paper's synthetic and UCI workloads.
+
+The UCI datasets themselves (Votes, Mushrooms, Census/Adult) are not
+available offline; each generator reproduces the published schema, size,
+missing-value count and latent structure so that every experiment
+exercises the same code paths.  See DESIGN.md §2.5 for the substitution
+rationale.
+"""
+
+from .categorical import CategoricalDataset
+from .census import generate_census
+from .movies import generate_movies
+from .mushrooms import generate_mushrooms
+from .synthetic2d import Points2D, gaussian_with_noise, seven_groups
+from .votes import generate_votes
+
+__all__ = [
+    "CategoricalDataset",
+    "generate_census",
+    "generate_movies",
+    "generate_mushrooms",
+    "Points2D",
+    "gaussian_with_noise",
+    "seven_groups",
+    "generate_votes",
+]

@@ -1,0 +1,199 @@
+"""Categorical datasets and the categorical → clusterings mapping (§2).
+
+The paper's key observation for categorical data: every categorical
+attribute *is* a clustering — one cluster per distinct value — so a table
+with ``m`` categorical attributes is an aggregation problem with ``m``
+input clusterings.  :class:`CategoricalDataset` stores integer-coded
+columns (``-1`` = missing), optional per-row class labels used only for
+evaluation, and human-readable names; :meth:`CategoricalDataset.label_matrix`
+is the bridge into :func:`repro.aggregate`.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.labels import MISSING, validate_label_matrix
+
+__all__ = ["CategoricalDataset"]
+
+
+@dataclass
+class CategoricalDataset:
+    """An integer-coded categorical table with optional class labels.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (used in reports).
+    data:
+        ``(n, m)`` int array; column ``j`` holds codes ``0..arity_j - 1``
+        with ``-1`` marking missing entries.
+    attribute_names:
+        One name per column.
+    classes:
+        Optional per-row class codes (never fed to the algorithms; used
+        for the classification-error metric only).
+    class_names:
+        Names of the class codes.
+    value_names:
+        Optional per-column lists naming each code.
+    """
+
+    name: str
+    data: np.ndarray
+    attribute_names: list[str]
+    classes: np.ndarray | None = None
+    class_names: list[str] | None = None
+    value_names: list[list[str]] | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data)
+        validate_label_matrix(self.data)
+        if len(self.attribute_names) != self.data.shape[1]:
+            raise ValueError("one attribute name per column required")
+        if self.classes is not None:
+            self.classes = np.asarray(self.classes)
+            if self.classes.shape != (self.data.shape[0],):
+                raise ValueError("classes must align with the rows")
+
+    # ------------------------------------------------------------------
+    # Shape & stats
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of rows (objects)."""
+        return int(self.data.shape[0])
+
+    @property
+    def m(self) -> int:
+        """Number of categorical attributes (input clusterings)."""
+        return int(self.data.shape[1])
+
+    def arities(self) -> np.ndarray:
+        """Number of distinct (non-missing) values per attribute."""
+        return np.array(
+            [np.unique(col[col != MISSING]).size for col in self.data.T], dtype=np.int64
+        )
+
+    def missing_count(self) -> int:
+        """Total number of missing entries."""
+        return int(np.count_nonzero(self.data == MISSING))
+
+    # ------------------------------------------------------------------
+    # The categorical -> clustering-aggregation bridge
+    # ------------------------------------------------------------------
+
+    def label_matrix(self) -> np.ndarray:
+        """The attributes viewed as input clusterings (the §2 mapping)."""
+        return self.data
+
+    def subset(self, rows: np.ndarray) -> "CategoricalDataset":
+        """The dataset restricted to the given row indices."""
+        rows = np.asarray(rows)
+        return CategoricalDataset(
+            name=self.name,
+            data=self.data[rows],
+            attribute_names=list(self.attribute_names),
+            classes=None if self.classes is None else self.classes[rows],
+            class_names=self.class_names,
+            value_names=self.value_names,
+        )
+
+    # ------------------------------------------------------------------
+    # CSV round-trip
+    # ------------------------------------------------------------------
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write rows as CSV with a header; missing entries become '?'.
+
+        The class column (when present) is written last under the header
+        ``class``; value names are used when available, raw codes otherwise.
+        """
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            header = list(self.attribute_names)
+            if self.classes is not None:
+                header.append("class")
+            writer.writerow(header)
+            for i in range(self.n):
+                row: list[str] = []
+                for j in range(self.m):
+                    code = int(self.data[i, j])
+                    if code == MISSING:
+                        row.append("?")
+                    elif self.value_names is not None:
+                        row.append(self.value_names[j][code])
+                    else:
+                        row.append(str(code))
+                if self.classes is not None:
+                    code = int(self.classes[i])
+                    if self.class_names is not None:
+                        row.append(self.class_names[code])
+                    else:
+                        row.append(str(code))
+                writer.writerow(row)
+
+    @classmethod
+    def from_csv(
+        cls,
+        path: str | Path,
+        name: str | None = None,
+        class_column: str | None = "class",
+        missing_token: str = "?",
+    ) -> "CategoricalDataset":
+        """Load a CSV with a header row, encoding values to integer codes.
+
+        ``class_column`` (if present in the header) becomes the evaluation
+        labels; pass ``None`` to treat every column as an attribute.
+        """
+        path = Path(path)
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            rows = [row for row in reader if row]
+        if not rows:
+            raise ValueError(f"{path} contains no data rows")
+        columns = list(zip(*rows))
+        class_values: tuple[str, ...] | None = None
+        if class_column is not None and class_column in header:
+            position = header.index(class_column)
+            class_values = columns.pop(position)
+            header = header[:position] + header[position + 1 :]
+
+        n = len(rows)
+        data = np.full((n, len(columns)), MISSING, dtype=np.int32)
+        value_names: list[list[str]] = []
+        for j, column in enumerate(columns):
+            names: list[str] = []
+            codebook: dict[str, int] = {}
+            for i, token in enumerate(column):
+                if token == missing_token:
+                    continue
+                if token not in codebook:
+                    codebook[token] = len(names)
+                    names.append(token)
+                data[i, j] = codebook[token]
+            value_names.append(names)
+
+        classes = None
+        class_names = None
+        if class_values is not None:
+            class_names = sorted(set(class_values))
+            lookup = {label: code for code, label in enumerate(class_names)}
+            classes = np.array([lookup[value] for value in class_values], dtype=np.int64)
+
+        return cls(
+            name=name or path.stem,
+            data=data,
+            attribute_names=header,
+            classes=classes,
+            class_names=class_names,
+            value_names=value_names,
+        )

@@ -1,0 +1,185 @@
+"""Two-dimensional synthetic datasets of the paper's Section 5.1 and 5.3.
+
+Two generators:
+
+* :func:`seven_groups` — the Figure 3 dataset: seven perceptually distinct
+  groups engineered to break the vanilla algorithms in different ways
+  (narrow bridges between clusters defeat single linkage, uneven cluster
+  sizes defeat k-means, an elongated cluster defeats complete linkage).
+* :func:`gaussian_with_noise` — the Figure 4 / Figure 5 dataset family:
+  ``k*`` Gaussian clusters around uniform-random centers in the unit
+  square plus a fraction of uniform background noise, at any total size
+  (up to the 1M points of Figure 5 right).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Points2D", "seven_groups", "gaussian_with_noise"]
+
+#: Truth label given to uniform background-noise points.
+NOISE_LABEL = -1
+
+
+@dataclass
+class Points2D:
+    """A 2-D point set with ground-truth group labels.
+
+    ``truth`` holds group ids ``0..k-1`` and ``-1`` for background noise
+    (Figure 4); it is used for evaluation only, never by the algorithms.
+    """
+
+    points: np.ndarray
+    truth: np.ndarray
+    name: str
+
+    @property
+    def n(self) -> int:
+        return int(self.points.shape[0])
+
+    def ascii_plot(self, labels: np.ndarray | None = None, width: int = 72, height: int = 24) -> str:
+        """Render the points as ASCII art, coloured by ``labels`` (or truth).
+
+        Clusters are drawn with distinct characters; useful for examples in
+        a plotting-free environment.
+        """
+        marks = labels if labels is not None else self.truth
+        glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        canvas = [[" "] * width for _ in range(height)]
+        xs, ys = self.points[:, 0], self.points[:, 1]
+        x_lo, x_hi = float(xs.min()), float(xs.max())
+        y_lo, y_hi = float(ys.min()), float(ys.max())
+        x_span = (x_hi - x_lo) or 1.0
+        y_span = (y_hi - y_lo) or 1.0
+        for (x, y), mark in zip(self.points, marks):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            glyph = "." if mark < 0 else glyphs[int(mark) % len(glyphs)]
+            canvas[row][col] = glyph
+        return "\n".join("".join(line) for line in canvas)
+
+
+def _blob(
+    rng: np.random.Generator, center: tuple[float, float], std: float, count: int
+) -> np.ndarray:
+    return rng.normal(loc=center, scale=std, size=(count, 2))
+
+
+def _bridge(
+    rng: np.random.Generator,
+    start: tuple[float, float],
+    end: tuple[float, float],
+    count: int,
+    jitter: float = 0.12,
+) -> np.ndarray:
+    t = np.linspace(0.15, 0.85, count)[:, None]
+    line = np.asarray(start) * (1.0 - t) + np.asarray(end) * t
+    return line + rng.normal(scale=jitter, size=(count, 2))
+
+
+def seven_groups(rng: np.random.Generator | int | None = 0) -> Points2D:
+    """The Figure 3 dataset: seven groups with algorithm-breaking features.
+
+    Roughly 790 points.  Groups 0 and 1 are joined by a narrow bridge of
+    points (single linkage chains them together); group 3 is elongated
+    (complete linkage splits it); sizes range from 35 to ~165 (k-means
+    balances them incorrectly).  Bridge points carry the truth label of
+    their nearer endpoint group.
+    """
+    generator = np.random.default_rng(rng)
+    groups: list[np.ndarray] = []
+    labels: list[np.ndarray] = []
+
+    def add(points: np.ndarray, label: int) -> None:
+        groups.append(points)
+        labels.append(np.full(points.shape[0], label, dtype=np.int64))
+
+    # Group 0: large round blob.
+    add(_blob(generator, (5.0, 12.0), 1.3, 165), 0)
+    # Group 1: second blob, connected to group 0 by a narrow bridge.
+    add(_blob(generator, (9.5, 12.0), 0.9, 110), 1)
+    bridge_01 = _bridge(generator, (5.0, 12.0), (9.5, 12.0), 16)
+    halves = bridge_01[:, 0] < 7.25
+    add(bridge_01[halves], 0)
+    add(bridge_01[~halves], 1)
+    # Group 2: small tight blob.
+    add(_blob(generator, (14.0, 14.5), 0.45, 40), 2)
+    # Group 3: long elongated horizontal cluster.
+    count = 150
+    xs = generator.uniform(0.5, 10.5, count)
+    ys = 3.8 + generator.normal(scale=0.3, size=count)
+    add(np.column_stack([xs, ys]), 3)
+    # Groups 4 and 5: two blobs joined by a second bridge.
+    add(_blob(generator, (13.2, 5.2), 0.85, 95), 4)
+    add(_blob(generator, (16.4, 8.2), 0.7, 85), 5)
+    bridge_45 = _bridge(generator, (13.2, 5.2), (16.4, 8.2), 12)
+    halves = bridge_45[:, 1] < 6.7
+    add(bridge_45[halves], 4)
+    add(bridge_45[~halves], 5)
+    # Group 6: small sparse blob far from everything.
+    add(_blob(generator, (2.0, 17.5), 0.55, 30), 6)
+
+    points = np.vstack(groups)
+    truth = np.concatenate(labels)
+    return Points2D(points=points, truth=truth, name="seven-groups")
+
+
+def gaussian_with_noise(
+    k: int,
+    points_per_cluster: int = 100,
+    noise_fraction: float = 0.2,
+    cluster_std: float = 0.045,
+    rng: np.random.Generator | int | None = 0,
+) -> Points2D:
+    """``k`` Gaussian clusters in the unit square plus uniform noise (Fig. 4).
+
+    ``k`` cluster centers are drawn uniformly at random in the unit square,
+    ``points_per_cluster`` points are sampled normally around each, and an
+    extra ``noise_fraction`` of the total cluster points are added
+    uniformly (truth label ``-1``), matching the paper's construction.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    if not 0.0 <= noise_fraction < 1.0:
+        raise ValueError("noise_fraction must be in [0, 1)")
+    generator = np.random.default_rng(rng)
+    # Keep centers away from the border and from each other so the "correct"
+    # clusters of Figure 4 are perceptually distinct.
+    centers = _spread_centers(generator, k)
+    cluster_points = np.vstack(
+        [_blob(generator, tuple(center), cluster_std, points_per_cluster) for center in centers]
+    )
+    truth = np.repeat(np.arange(k, dtype=np.int64), points_per_cluster)
+    noise_count = int(round(noise_fraction * cluster_points.shape[0]))
+    noise = generator.uniform(0.0, 1.0, size=(noise_count, 2))
+    points = np.vstack([cluster_points, noise])
+    truth = np.concatenate([truth, np.full(noise_count, NOISE_LABEL, dtype=np.int64)])
+    order = generator.permutation(points.shape[0])
+    return Points2D(points=points[order], truth=truth[order], name=f"gaussian-{k}")
+
+
+def _spread_centers(
+    generator: np.random.Generator, k: int, minimum_gap: float = 0.28, attempts: int = 2000
+) -> np.ndarray:
+    """Rejection-sample ``k`` centers in [0.12, 0.88]^2 with pairwise spacing."""
+    centers: list[np.ndarray] = []
+    gap = minimum_gap
+    for _ in range(attempts):
+        candidate = generator.uniform(0.12, 0.88, size=2)
+        if all(np.linalg.norm(candidate - existing) >= gap for existing in centers):
+            centers.append(candidate)
+            if len(centers) == k:
+                return np.array(centers)
+    # Relax the gap if the square got crowded (large k).
+    while len(centers) < k:
+        gap *= 0.85
+        for _ in range(attempts):
+            candidate = generator.uniform(0.12, 0.88, size=2)
+            if all(np.linalg.norm(candidate - existing) >= gap for existing in centers):
+                centers.append(candidate)
+                if len(centers) == k:
+                    break
+    return np.array(centers)

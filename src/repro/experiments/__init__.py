@@ -1,0 +1,17 @@
+"""Shared experiment harness: scale control, table rendering, table routines."""
+
+from .runner import TableRow, categorical_table, disagreement_cost, kmeans_sweep
+from .scale import Scale, current_scale
+from .tables import banner, format_number, render_table
+
+__all__ = [
+    "TableRow",
+    "categorical_table",
+    "disagreement_cost",
+    "kmeans_sweep",
+    "Scale",
+    "current_scale",
+    "banner",
+    "format_number",
+    "render_table",
+]

@@ -1,0 +1,67 @@
+"""Experiment scale control.
+
+Every benchmark honours the ``REPRO_SCALE`` environment variable:
+
+* ``ci`` (default) — shape-preserving reductions that finish on a 1-core
+  laptop: Mushrooms at 2000 rows, Census at 8000, the scalability sweep up
+  to 200K points.
+* ``paper`` — the paper's full sizes: Mushrooms 8124, Census 32561, the
+  1M-point scalability run.
+
+Benches print which scale they used; EXPERIMENTS.md records paper-vs-
+measured values for both.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["Scale", "current_scale"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Workload sizes for one experiment scale."""
+
+    name: str
+    mushrooms_rows: int | None  # None = the generator's full default
+    census_rows: int | None
+    census_sample: int
+    scalability_sizes: tuple[int, ...]
+    sampling_sweep: tuple[int, ...]
+
+    def describe(self) -> str:
+        return (
+            f"scale={self.name} (set REPRO_SCALE=paper for full sizes): "
+            f"mushrooms={self.mushrooms_rows or 8124}, census={self.census_rows or 32561}"
+        )
+
+
+_CI = Scale(
+    name="ci",
+    mushrooms_rows=2000,
+    census_rows=8000,
+    census_sample=1500,
+    scalability_sizes=(20_000, 50_000, 100_000, 200_000),
+    sampling_sweep=(100, 200, 400, 800, 1200),
+)
+
+_PAPER = Scale(
+    name="paper",
+    mushrooms_rows=None,
+    census_rows=None,
+    census_sample=4000,
+    scalability_sizes=(50_000, 100_000, 500_000, 1_000_000),
+    sampling_sweep=(200, 400, 800, 1600, 3200),
+)
+
+
+def current_scale() -> Scale:
+    """The scale selected by ``REPRO_SCALE`` (default ``ci``)."""
+    name = os.environ.get("REPRO_SCALE", "ci").strip().lower()
+    if name == "paper":
+        return _PAPER
+    if name in ("ci", ""):
+        return _CI
+    raise ValueError(f"REPRO_SCALE must be 'ci' or 'paper', got {name!r}")

@@ -1,0 +1,61 @@
+"""Plain-text table rendering for the benchmark reports.
+
+The benchmark harness prints each reproduced table/figure in the same
+row/column layout as the paper, using these helpers (no third-party
+table libraries, no colour codes — output is meant for ``tee`` into
+bench_output.txt).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+__all__ = ["render_table", "format_number", "banner"]
+
+
+def format_number(value: Any) -> str:
+    """Compact numeric formatting: ints plain, floats to sensible digits."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    text_rows = [[format_number(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def banner(text: str) -> str:
+    """A separator headline for bench output."""
+    bar = "=" * max(60, len(text) + 4)
+    return f"\n{bar}\n  {text}\n{bar}"

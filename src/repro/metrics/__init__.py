@@ -1,0 +1,28 @@
+"""Evaluation metrics (classification error, disagreement error, external indices)."""
+
+from ..core.distance import total_disagreement as disagreement_error
+from .profiles import ClusterProfile, describe_clusters
+from .quality import (
+    adjusted_rand_index,
+    classification_error,
+    cluster_size_summary,
+    confusion_matrix,
+    normalized_mutual_information,
+    purity,
+    rand_index,
+    variation_of_information,
+)
+
+__all__ = [
+    "disagreement_error",
+    "ClusterProfile",
+    "describe_clusters",
+    "adjusted_rand_index",
+    "classification_error",
+    "cluster_size_summary",
+    "confusion_matrix",
+    "normalized_mutual_information",
+    "purity",
+    "rand_index",
+    "variation_of_information",
+]

@@ -1,0 +1,112 @@
+"""Cluster profiling: describing consensus clusters in attribute terms.
+
+The paper's Census discussion (§5.2) inspects the discovered clusters by
+hand: "many corresponded to distinct social groups, for example, male
+Eskimos occupied with farming-fishing, married Asian-Pacific islander
+females, unmarried executive-manager females with high-education
+degrees".  :func:`describe_clusters` automates that inspection — for each
+cluster it reports the attribute values that are both *prevalent* inside
+the cluster and *distinctive* relative to the whole dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.labels import MISSING
+from ..core.partition import Clustering
+from ..datasets.categorical import CategoricalDataset
+
+__all__ = ["ClusterProfile", "describe_clusters"]
+
+
+@dataclass
+class ClusterProfile:
+    """A human-readable description of one cluster."""
+
+    cluster: int
+    size: int
+    traits: list[tuple[str, str, float]]  # (attribute, value, prevalence)
+
+    def summary(self) -> str:
+        described = ", ".join(
+            f"{attribute}={value} ({prevalence:.0%})"
+            for attribute, value, prevalence in self.traits
+        )
+        return f"cluster {self.cluster} (n={self.size}): {described or '(no distinctive trait)'}"
+
+
+def describe_clusters(
+    dataset: CategoricalDataset,
+    clustering: Clustering,
+    min_prevalence: float = 0.6,
+    min_lift: float = 1.5,
+    max_traits: int = 4,
+    min_size: int = 2,
+) -> list[ClusterProfile]:
+    """Profile every cluster of a categorical dataset.
+
+    A value is a *trait* of a cluster when at least ``min_prevalence`` of
+    the cluster's rows carry it and its prevalence is at least
+    ``min_lift`` times the value's overall frequency (so near-constant
+    attributes do not describe anything).  Traits are ranked by lift.
+
+    Parameters
+    ----------
+    dataset:
+        The categorical table the clustering covers.
+    clustering:
+        A clustering of the dataset's rows.
+    min_prevalence, min_lift, max_traits:
+        Trait selection knobs.
+    min_size:
+        Skip clusters smaller than this (outliers are better shown raw).
+    """
+    if clustering.n != dataset.n:
+        raise ValueError("clustering must cover the dataset's rows")
+    profiles: list[ClusterProfile] = []
+    data = dataset.data
+    overall: list[np.ndarray] = []
+    for j in range(dataset.m):
+        column = data[:, j]
+        present = column != MISSING
+        arity = int(column.max()) + 1 if column.max() >= 0 else 1
+        frequency = np.bincount(column[present], minlength=arity).astype(np.float64)
+        total = frequency.sum()
+        overall.append(frequency / total if total else frequency)
+
+    for cluster in range(clustering.k):
+        members = clustering.members(cluster)
+        if members.size < min_size:
+            continue
+        traits: list[tuple[str, str, float, float]] = []
+        for j in range(dataset.m):
+            column = data[members, j]
+            present = column != MISSING
+            if not present.any():
+                continue
+            values, counts = np.unique(column[present], return_counts=True)
+            top = int(np.argmax(counts))
+            value = int(values[top])
+            prevalence = counts[top] / present.sum()
+            baseline = overall[j][value] if value < overall[j].size else 0.0
+            lift = prevalence / baseline if baseline > 0 else np.inf
+            if prevalence >= min_prevalence and lift >= min_lift:
+                name = (
+                    dataset.value_names[j][value]
+                    if dataset.value_names is not None
+                    else str(value)
+                )
+                traits.append((dataset.attribute_names[j], name, float(prevalence), float(lift)))
+        traits.sort(key=lambda item: -item[3])
+        profiles.append(
+            ClusterProfile(
+                cluster=cluster,
+                size=int(members.size),
+                traits=[(a, v, p) for a, v, p, _ in traits[:max_traits]],
+            )
+        )
+    profiles.sort(key=lambda profile: -profile.size)
+    return profiles

@@ -1,0 +1,167 @@
+"""Cluster-quality metrics of the paper's Section 5, plus standard extras.
+
+The two measures the paper's tables report:
+
+* **classification error** ``E_C`` — the fraction of objects outside their
+  cluster's majority class (the paper stresses this is only *indicative*;
+  no actual classification is performed).
+* **disagreement error** ``E_D`` — the aggregation objective ``D(C)``
+  itself, computed by :func:`repro.core.total_disagreement`.
+
+This module implements E_C, the confusion matrix of Table 1, and the
+standard external indices (purity, Rand, adjusted Rand, NMI, variation of
+information) used in the wider consensus-clustering literature — handy for
+the robustness experiments where a ground truth exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.labels import contingency_table
+from ..core.partition import Clustering
+
+__all__ = [
+    "classification_error",
+    "confusion_matrix",
+    "purity",
+    "rand_index",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "variation_of_information",
+    "cluster_size_summary",
+]
+
+
+def _as_labels(clustering: Clustering | np.ndarray) -> np.ndarray:
+    if isinstance(clustering, Clustering):
+        return clustering.labels
+    arr = np.asarray(clustering)
+    if arr.ndim != 1:
+        raise ValueError("labels must be one-dimensional")
+    return arr
+
+
+def confusion_matrix(
+    clustering: Clustering | np.ndarray, classes: np.ndarray
+) -> np.ndarray:
+    """Rows = classes, columns = clusters — the layout of the paper's Table 1."""
+    return contingency_table(np.asarray(classes), _as_labels(clustering))
+
+
+def classification_error(
+    clustering: Clustering | np.ndarray, classes: np.ndarray
+) -> float:
+    """``E_C = sum_i (s_i - m_i) / n``: objects outside their cluster's majority class.
+
+    0 means every cluster is class-pure (trivially achieved by singletons —
+    which is why the paper reports cluster counts alongside).
+    """
+    table = confusion_matrix(clustering, classes)
+    n = int(table.sum())
+    if n == 0:
+        raise ValueError("no objects to score")
+    majority = table.max(axis=0).sum()
+    return float(n - majority) / n
+
+
+def purity(clustering: Clustering | np.ndarray, classes: np.ndarray) -> float:
+    """Fraction of objects in their cluster's majority class (1 - E_C)."""
+    return 1.0 - classification_error(clustering, classes)
+
+
+def _pair_counts(table: np.ndarray) -> tuple[float, float, float, float]:
+    """(pairs co-clustered in both, in first only, in second only, total pairs)."""
+    n = table.sum()
+    total = n * (n - 1) / 2.0
+    both = float((table * (table - 1) // 2).sum())
+    first = float((table.sum(axis=1) * (table.sum(axis=1) - 1) // 2).sum())
+    second = float((table.sum(axis=0) * (table.sum(axis=0) - 1) // 2).sum())
+    return both, first - both, second - both, total
+
+
+def rand_index(first: Clustering | np.ndarray, second: Clustering | np.ndarray) -> float:
+    """Fraction of object pairs on which the two clusterings agree."""
+    table = contingency_table(_as_labels(first), _as_labels(second))
+    both, first_only, second_only, total = _pair_counts(table)
+    if total == 0:
+        return 1.0
+    agreements = total - first_only - second_only
+    return agreements / total
+
+
+def adjusted_rand_index(
+    first: Clustering | np.ndarray, second: Clustering | np.ndarray
+) -> float:
+    """Rand index corrected for chance (Hubert & Arabie)."""
+    table = contingency_table(_as_labels(first), _as_labels(second))
+    n = table.sum()
+    if n < 2:
+        return 1.0
+    sum_cells = float((table * (table - 1) // 2).sum())
+    sum_rows = float((table.sum(axis=1) * (table.sum(axis=1) - 1) // 2).sum())
+    sum_cols = float((table.sum(axis=0) * (table.sum(axis=0) - 1) // 2).sum())
+    total = n * (n - 1) / 2.0
+    expected = sum_rows * sum_cols / total
+    maximum = (sum_rows + sum_cols) / 2.0
+    if maximum == expected:
+        return 1.0
+    return (sum_cells - expected) / (maximum - expected)
+
+
+def _entropy(counts: np.ndarray) -> float:
+    probabilities = counts[counts > 0] / counts.sum()
+    return float(-(probabilities * np.log(probabilities)).sum())
+
+
+def normalized_mutual_information(
+    first: Clustering | np.ndarray, second: Clustering | np.ndarray
+) -> float:
+    """NMI with arithmetic-mean normalization; 1 for identical partitions."""
+    table = contingency_table(_as_labels(first), _as_labels(second)).astype(np.float64)
+    n = table.sum()
+    if n == 0:
+        return 1.0
+    joint = table / n
+    row = joint.sum(axis=1)
+    col = joint.sum(axis=0)
+    outer = row[:, None] * col[None, :]
+    nonzero = joint > 0
+    mutual = float((joint[nonzero] * np.log(joint[nonzero] / outer[nonzero])).sum())
+    h_first = _entropy(table.sum(axis=1))
+    h_second = _entropy(table.sum(axis=0))
+    denominator = (h_first + h_second) / 2.0
+    if denominator == 0.0:
+        return 1.0
+    return mutual / denominator
+
+
+def variation_of_information(
+    first: Clustering | np.ndarray, second: Clustering | np.ndarray
+) -> float:
+    """Meila's VI metric: ``H(1) + H(2) - 2 I(1; 2)``; 0 for identical partitions."""
+    table = contingency_table(_as_labels(first), _as_labels(second)).astype(np.float64)
+    n = table.sum()
+    if n == 0:
+        return 0.0
+    joint = table / n
+    row = joint.sum(axis=1)
+    col = joint.sum(axis=0)
+    outer = row[:, None] * col[None, :]
+    nonzero = joint > 0
+    mutual = float((joint[nonzero] * np.log(joint[nonzero] / outer[nonzero])).sum())
+    return max(0.0, _entropy(table.sum(axis=1)) + _entropy(table.sum(axis=0)) - 2.0 * mutual)
+
+
+def cluster_size_summary(clustering: Clustering | np.ndarray) -> dict[str, float]:
+    """Size statistics of a clustering (for reports)."""
+    labels = _as_labels(clustering)
+    sizes = np.bincount(labels)
+    sizes = sizes[sizes > 0]
+    return {
+        "clusters": int(sizes.size),
+        "largest": int(sizes.max()),
+        "smallest": int(sizes.min()),
+        "singletons": int((sizes == 1).sum()),
+        "median": float(np.median(sizes)),
+    }

@@ -1,0 +1,61 @@
+"""Shared fixtures: the paper's running example and small random instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Clustering
+from repro.core import CorrelationInstance
+from repro.core.labels import as_label_matrix
+
+
+@pytest.fixture
+def figure1_clusterings() -> list[Clustering]:
+    """The three input clusterings of the paper's Figure 1."""
+    return [
+        Clustering([0, 0, 1, 1, 2, 2]),
+        Clustering([0, 1, 0, 1, 2, 3]),
+        Clustering([0, 1, 0, 1, 2, 2]),
+    ]
+
+
+@pytest.fixture
+def figure1_optimum() -> Clustering:
+    """The optimal aggregate of Figure 1 (5 disagreements)."""
+    return Clustering([0, 1, 0, 1, 2, 2])
+
+
+@pytest.fixture
+def figure1_instance(figure1_clusterings) -> CorrelationInstance:
+    """The Figure 2 correlation instance (distances 1/3, 2/3, 1)."""
+    return CorrelationInstance.from_clusterings(figure1_clusterings)
+
+
+def random_aggregation_instance(
+    n: int, m: int, k: int, seed: int
+) -> tuple[np.ndarray, CorrelationInstance]:
+    """A random aggregation problem: m clusterings of n objects with <= k clusters."""
+    rng = np.random.default_rng(seed)
+    matrix = as_label_matrix([rng.integers(0, k, size=n) for _ in range(m)])
+    return matrix, CorrelationInstance.from_label_matrix(matrix)
+
+
+def planted_instance(
+    n: int, m: int, groups: int, flip: float, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Clusterings that all agree on `groups` planted clusters, with noise.
+
+    Each of the ``m`` input clusterings is the planted partition with a
+    ``flip`` fraction of objects relabelled at random.  Returns
+    ``(truth_labels, label_matrix)``.
+    """
+    rng = np.random.default_rng(seed)
+    truth = rng.integers(0, groups, size=n)
+    columns = []
+    for _ in range(m):
+        noisy = truth.copy()
+        flips = rng.random(n) < flip
+        noisy[flips] = rng.integers(0, groups, size=int(flips.sum()))
+        columns.append(noisy)
+    return truth, as_label_matrix(columns)

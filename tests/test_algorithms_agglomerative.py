@@ -1,0 +1,129 @@
+"""Tests for the AGGLOMERATIVE algorithm (repro.algorithms.agglomerative)."""
+
+import numpy as np
+import pytest
+
+from repro import Clustering
+from repro.core import CorrelationInstance
+from repro.algorithms import agglomerative
+
+from conftest import random_aggregation_instance
+
+
+def reference_agglomerative(instance, threshold=0.5, force_k=None):
+    """Straightforward O(n^3) re-implementation used as an oracle."""
+    X = np.asarray(instance.X, dtype=np.float64)
+    n = instance.n
+    clusters = [[i] for i in range(n)]
+    while len(clusters) > 1:
+        best = None
+        best_value = np.inf
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                value = X[np.ix_(clusters[i], clusters[j])].mean()
+                if value < best_value - 1e-12:
+                    best_value = value
+                    best = (i, j)
+        if force_k is None and best_value >= threshold:
+            break
+        if force_k is not None and len(clusters) <= force_k:
+            break
+        i, j = best
+        clusters[i] = clusters[i] + clusters[j]
+        del clusters[j]
+    labels = np.empty(n, dtype=np.int64)
+    for cluster_id, members in enumerate(clusters):
+        labels[members] = cluster_id
+    return Clustering(labels)
+
+
+class TestBasics:
+    def test_figure1_optimum(self, figure1_instance):
+        assert agglomerative(figure1_instance) == Clustering([0, 1, 0, 1, 2, 2])
+
+    def test_single_object(self):
+        instance = CorrelationInstance.from_distances(np.zeros((1, 1)))
+        assert agglomerative(instance).k == 1
+
+    def test_identical_objects_merge_fully(self):
+        matrix = np.zeros((10, 3), dtype=np.int32)
+        instance = CorrelationInstance.from_label_matrix(matrix)
+        assert agglomerative(instance).k == 1
+
+    def test_distinct_objects_stay_apart(self):
+        matrix = np.tile(np.arange(8, dtype=np.int32)[:, None], (1, 3))
+        instance = CorrelationInstance.from_label_matrix(matrix)
+        assert agglomerative(instance).k == 8
+
+    def test_force_k(self, figure1_instance):
+        for k in (1, 2, 3, 4, 6):
+            assert agglomerative(figure1_instance, force_k=k).k == k
+
+    def test_force_k_out_of_range(self, figure1_instance):
+        with pytest.raises(ValueError):
+            agglomerative(figure1_instance, force_k=0)
+        with pytest.raises(ValueError):
+            agglomerative(figure1_instance, force_k=7)
+
+    def test_average_distance_within_clusters_below_half(self):
+        """The paper's key property: every produced cluster has average
+        pairwise distance at most 1/2 ("the opinion of the majority is
+        respected on average")."""
+        for seed in range(6):
+            _, instance = random_aggregation_instance(n=25, m=5, k=3, seed=seed)
+            result = agglomerative(instance)
+            X = instance.X
+            for members in result.clusters():
+                if members.size < 2:
+                    continue
+                sub = X[np.ix_(members, members)]
+                pairs = members.size * (members.size - 1)
+                assert sub.sum() / pairs <= 0.5 + 1e-9
+
+
+def random_float_instance(n: int, seed: int) -> CorrelationInstance:
+    """A generic (tie-free) correlation instance with uniform distances."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0.05, 0.95, size=(n, n))
+    X = (X + X.T) / 2.0
+    np.fill_diagonal(X, 0.0)
+    return CorrelationInstance.from_distances(X)
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_cubic_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 16))
+        instance = random_float_instance(n, seed + 50)
+        ours = agglomerative(instance)
+        oracle = reference_agglomerative(instance)
+        assert ours == oracle
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_force_k_matches_reference(self, seed):
+        instance = random_float_instance(12, seed)
+        for k in (2, 4, 6):
+            ours = agglomerative(instance, force_k=k)
+            oracle = reference_agglomerative(instance, force_k=k)
+            assert ours == oracle
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_factor_two_for_three_clusterings(self, seed):
+        """Paper §4: for m = 3 AGGLOMERATIVE is a 2-approximation."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 11))
+        _, instance = random_aggregation_instance(n=n, m=3, k=3, seed=seed + 700)
+        from repro.algorithms import exact_optimum
+
+        _, optimal = exact_optimum(instance)
+        cost = instance.cost(agglomerative(instance))
+        if optimal == 0:
+            assert cost == 0
+        else:
+            assert cost <= 2.0 * optimal + 1e-9
+
+    def test_threshold_parameter(self, figure1_instance):
+        # Threshold 0 forbids all merging; threshold 1.01 merges everything.
+        assert agglomerative(figure1_instance, threshold=0.0).k == 6
+        assert agglomerative(figure1_instance, threshold=1.01).k == 1

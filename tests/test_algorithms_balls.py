@@ -1,0 +1,92 @@
+"""Tests for the BALLS algorithm (repro.algorithms.balls)."""
+
+import numpy as np
+import pytest
+
+from repro import Clustering
+from repro.core import CorrelationInstance
+from repro.algorithms import PRACTICAL_ALPHA, THEORY_ALPHA, balls, exact_optimum
+
+from conftest import random_aggregation_instance
+
+
+class TestBasics:
+    def test_constants_match_paper(self):
+        assert THEORY_ALPHA == 0.25  # Theorem 1
+        assert PRACTICAL_ALPHA == 0.4  # "alpha = 2/5 leads to better solutions"
+
+    def test_figure1_theory_alpha_fragments(self, figure1_instance):
+        # The paper observes alpha = 1/4 "tends to be small as it creates
+        # many singleton clusters" — on Figure 1 every ball has average
+        # distance 1/3 > 1/4, so everything is a singleton.
+        result = balls(figure1_instance, alpha=THEORY_ALPHA)
+        assert result.k == 6
+
+    def test_figure1_practical_alpha_recovers_optimum(self, figure1_instance):
+        result = balls(figure1_instance, alpha=PRACTICAL_ALPHA)
+        assert result == Clustering([0, 1, 0, 1, 2, 2])
+
+    def test_invalid_alpha_rejected(self, figure1_instance):
+        with pytest.raises(ValueError):
+            balls(figure1_instance, alpha=1.5)
+
+    def test_invalid_radius_rejected(self, figure1_instance):
+        with pytest.raises(ValueError):
+            balls(figure1_instance, radius=0.0)
+
+    def test_all_identical_objects_form_one_cluster(self):
+        matrix = np.zeros((8, 3), dtype=np.int32)
+        instance = CorrelationInstance.from_label_matrix(matrix)
+        assert balls(instance).k == 1
+
+    def test_all_distinct_objects_stay_singletons(self):
+        matrix = np.tile(np.arange(6, dtype=np.int32)[:, None], (1, 3))
+        instance = CorrelationInstance.from_label_matrix(matrix)
+        assert balls(instance).k == 6
+
+    def test_partition_is_total(self):
+        _, instance = random_aggregation_instance(n=30, m=4, k=3, seed=0)
+        result = balls(instance, alpha=PRACTICAL_ALPHA)
+        assert result.n == 30
+
+    def test_index_order_option(self, figure1_instance):
+        result = balls(figure1_instance, alpha=PRACTICAL_ALPHA, sort_by_weight=False)
+        assert result.n == 6  # still a valid partition
+
+
+class TestApproximationGuarantee:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_within_3x_of_optimum_on_random_aggregations(self, seed):
+        """Theorem 1: BALLS at alpha = 1/4 is a 3-approximation (the input
+        distances obey the triangle inequality by construction)."""
+        rng = np.random.default_rng(seed)
+        n, m, k = int(rng.integers(5, 11)), int(rng.integers(2, 6)), int(rng.integers(2, 4))
+        matrix, instance = random_aggregation_instance(n=n, m=m, k=k, seed=seed + 100)
+        _, optimal_cost = exact_optimum(instance)
+        cost = instance.cost(balls(instance, alpha=THEORY_ALPHA))
+        if optimal_cost == 0:
+            assert cost == 0
+        else:
+            assert cost <= 3.0 * optimal_cost + 1e-9
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_factor_two_for_three_clusterings(self, seed):
+        """Paper §4: for m = 3 the BALLS cost is at most twice the optimum."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 11))
+        matrix, instance = random_aggregation_instance(n=n, m=3, k=3, seed=seed + 500)
+        from repro.algorithms import exact_optimum
+
+        _, optimal = exact_optimum(instance)
+        cost = instance.cost(balls(instance, alpha=THEORY_ALPHA))
+        if optimal == 0:
+            assert cost == 0
+        else:
+            assert cost <= 2.0 * optimal + 1e-9
+
+    def test_two_planted_groups_recovered(self):
+        # Two groups of identical objects at mutual distance 1.
+        matrix = np.array([[0] * 4 + [1] * 4] * 5, dtype=np.int32).T.copy()
+        instance = CorrelationInstance.from_label_matrix(matrix)
+        result = balls(instance, alpha=THEORY_ALPHA)
+        assert result == Clustering([0] * 4 + [1] * 4)

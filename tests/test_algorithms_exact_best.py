@@ -1,0 +1,142 @@
+"""Tests for the exact solver and BESTCLUSTERING."""
+
+import numpy as np
+import pytest
+
+from repro import Clustering
+from repro.core import CorrelationInstance, total_disagreement
+from repro.core.labels import MISSING, as_label_matrix
+from repro.algorithms import (
+    best_clustering,
+    column_as_candidate,
+    enumerate_partitions,
+    exact_optimum,
+)
+
+from conftest import random_aggregation_instance
+
+BELL_NUMBERS = {1: 1, 2: 2, 3: 5, 4: 15, 5: 52, 6: 203, 7: 877}
+
+
+class TestEnumeratePartitions:
+    @pytest.mark.parametrize("n,count", sorted(BELL_NUMBERS.items()))
+    def test_counts_are_bell_numbers(self, n, count):
+        assert sum(1 for _ in enumerate_partitions(n)) == count
+
+    def test_all_distinct(self):
+        seen = {tuple(p) for p in enumerate_partitions(5)}
+        assert len(seen) == BELL_NUMBERS[5]
+
+    def test_restricted_growth_property(self):
+        for partition in enumerate_partitions(6):
+            assert partition[0] == 0
+            running_max = 0
+            for value in partition[1:]:
+                assert value <= running_max + 1
+                running_max = max(running_max, value)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            list(enumerate_partitions(0))
+
+
+class TestExactOptimum:
+    def test_figure1(self, figure1_instance):
+        optimum, cost = exact_optimum(figure1_instance)
+        assert optimum == Clustering([0, 1, 0, 1, 2, 2])
+        assert cost == pytest.approx(5.0 / 3.0)
+
+    def test_single_object(self):
+        instance = CorrelationInstance.from_distances(np.zeros((1, 1)))
+        optimum, cost = exact_optimum(instance)
+        assert optimum.k == 1 and cost == 0.0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_full_enumeration(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 8))
+        _, instance = random_aggregation_instance(n=n, m=3, k=3, seed=seed + 30)
+        _, bb_cost = exact_optimum(instance)
+        enumerated = min(
+            instance.cost(Clustering(partition)) for partition in enumerate_partitions(n)
+        )
+        assert bb_cost == pytest.approx(enumerated)
+
+    def test_without_heuristic_seed(self, figure1_instance):
+        _, cost = exact_optimum(figure1_instance, seed_with_heuristics=False)
+        assert cost == pytest.approx(5.0 / 3.0)
+
+    def test_size_cap(self):
+        instance = CorrelationInstance.from_distances(np.zeros((19, 19)))
+        with pytest.raises(ValueError, match="at most 18"):
+            exact_optimum(instance)
+
+    def test_lower_bound_sandwich(self):
+        for seed in range(5):
+            _, instance = random_aggregation_instance(n=9, m=4, k=3, seed=seed)
+            _, cost = exact_optimum(instance)
+            assert instance.lower_bound() <= cost + 1e-9
+
+
+class TestColumnAsCandidate:
+    def test_total_column_unchanged(self):
+        column = np.array([0, 1, 0, 2])
+        assert column_as_candidate(column) == Clustering(column)
+
+    def test_own_cluster_policy(self):
+        column = np.array([0, MISSING, 1, MISSING])
+        candidate = column_as_candidate(column, missing="own-cluster")
+        assert candidate.k == 3
+        assert candidate.same_cluster(1, 3)
+
+    def test_singletons_policy(self):
+        column = np.array([0, MISSING, 1, MISSING])
+        candidate = column_as_candidate(column, missing="singletons")
+        assert candidate.k == 4
+        assert not candidate.same_cluster(1, 3)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            column_as_candidate(np.array([0, MISSING]), missing="drop")
+
+
+class TestBestClustering:
+    def test_figure1_picks_c3(self, figure1_clusterings, figure1_optimum):
+        matrix = as_label_matrix(figure1_clusterings)
+        assert best_clustering(matrix) == figure1_optimum  # C3 is optimal here
+
+    def test_returns_an_input(self):
+        rng = np.random.default_rng(0)
+        columns = [rng.integers(0, 3, size=20) for _ in range(5)]
+        matrix = as_label_matrix(columns)
+        winner = best_clustering(matrix)
+        assert any(winner == Clustering(c) for c in columns)
+
+    def test_minimizes_among_inputs(self):
+        rng = np.random.default_rng(1)
+        columns = [rng.integers(0, 3, size=15) for _ in range(4)]
+        matrix = as_label_matrix(columns)
+        winner = best_clustering(matrix)
+        winner_score = total_disagreement(matrix, winner)
+        for column in columns:
+            assert winner_score <= total_disagreement(matrix, Clustering(column)) + 1e-9
+
+    def test_two_approximation_guarantee(self):
+        """BESTCLUSTERING is within 2(1 - 1/m) of the optimum."""
+        for seed in range(6):
+            matrix, instance = random_aggregation_instance(n=8, m=4, k=3, seed=seed)
+            _, optimal_cost = exact_optimum(instance)
+            optimal_d = optimal_cost * matrix.shape[1]
+            best_d = total_disagreement(matrix, best_clustering(matrix))
+            m = matrix.shape[1]
+            if optimal_d == 0:
+                assert best_d == 0
+            else:
+                assert best_d <= 2 * (1 - 1 / m) * optimal_d + 1e-6
+
+    def test_missing_column_gets_extra_cluster(self):
+        matrix = np.array(
+            [[0, 0], [0, 0], [1, MISSING], [1, 1]], dtype=np.int32
+        )
+        winner = best_clustering(matrix)
+        assert winner.n == 4

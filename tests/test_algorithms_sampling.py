@@ -1,0 +1,118 @@
+"""Tests for the SAMPLING meta-algorithm (repro.algorithms.sampling)."""
+
+import numpy as np
+import pytest
+
+from repro import Clustering
+from repro.core import CorrelationInstance
+from repro.algorithms import agglomerative, default_sample_size, local_search, sampling
+
+from conftest import planted_instance
+
+
+class TestDefaults:
+    def test_default_sample_size_logarithmic(self):
+        assert default_sample_size(1) == 1
+        assert default_sample_size(100) == 100  # capped by n
+        assert 900 <= default_sample_size(50_000) <= 1100
+        assert default_sample_size(1_000_000) <= 1400
+
+    def test_default_never_exceeds_n(self):
+        assert default_sample_size(50) == 50
+
+
+class TestCorrectness:
+    def test_full_sample_equals_inner(self, figure1_clusterings):
+        from repro.core.labels import as_label_matrix
+
+        matrix = as_label_matrix(figure1_clusterings)
+        result = sampling(matrix, agglomerative, sample_size=6, rng=0)
+        direct = agglomerative(CorrelationInstance.from_label_matrix(matrix))
+        assert result == direct
+
+    def test_planted_clusters_recovered_from_small_sample(self):
+        truth, matrix = planted_instance(n=400, m=8, groups=4, flip=0.1, seed=0)
+        result = sampling(matrix, agglomerative, sample_size=60, rng=1)
+        assert result == Clustering(truth)
+
+    def test_matrix_and_instance_paths_agree(self):
+        truth, matrix = planted_instance(n=150, m=6, groups=3, flip=0.1, seed=2)
+        instance = CorrelationInstance.from_label_matrix(matrix)
+        via_matrix = sampling(matrix, agglomerative, sample_size=40, rng=7)
+        via_instance = sampling(instance, agglomerative, sample_size=40, rng=7)
+        assert via_matrix == via_instance
+
+    def test_deterministic_under_seed(self):
+        _, matrix = planted_instance(n=200, m=5, groups=3, flip=0.15, seed=3)
+        a = sampling(matrix, agglomerative, sample_size=50, rng=42)
+        b = sampling(matrix, agglomerative, sample_size=50, rng=42)
+        assert a == b
+
+    def test_different_inner_algorithms(self):
+        truth, matrix = planted_instance(n=300, m=7, groups=3, flip=0.1, seed=4)
+        for inner in (agglomerative, lambda inst: local_search(inst)):
+            result = sampling(matrix, inner, sample_size=50, rng=0)
+            assert result == Clustering(truth)
+
+    def test_invalid_sample_size(self):
+        _, matrix = planted_instance(n=50, m=3, groups=2, flip=0.1, seed=5)
+        with pytest.raises(ValueError):
+            sampling(matrix, agglomerative, sample_size=0)
+
+
+class TestDetails:
+    def test_details_reported(self):
+        truth, matrix = planted_instance(n=300, m=6, groups=3, flip=0.2, seed=6)
+        result, details = sampling(
+            matrix, agglomerative, sample_size=60, rng=0, return_details=True
+        )
+        assert details.sample_indices.size == 60
+        assert details.sample_clusters >= 1
+        assert details.assigned_to_clusters + details.leftover_singletons >= 300 - 60 - 10
+        assert result.n == 300
+
+    def test_singleton_roundup_merges_outliers(self):
+        # Plant 3 groups plus 30 objects the inputs scatter randomly; the
+        # scattered objects should not force extra large clusters.
+        rng = np.random.default_rng(0)
+        truth, matrix = planted_instance(n=300, m=8, groups=3, flip=0.05, seed=7)
+        noise = rng.integers(0, 50, size=(40, 8)).astype(np.int32) + 10
+        full = np.vstack([matrix, noise])
+        result = sampling(full, agglomerative, sample_size=80, rng=1)
+        sizes = np.sort(result.sizes())[::-1]
+        assert (sizes[:3] > 70).all()  # three big groups survive
+
+    def test_sampling_with_missing_values(self):
+        truth, matrix = planted_instance(n=300, m=8, groups=3, flip=0.1, seed=9)
+        matrix = matrix.copy()
+        rng = np.random.default_rng(0)
+        matrix[rng.random(matrix.shape) < 0.1] = -1
+        matrix[0] = 0
+        result = sampling(matrix, agglomerative, sample_size=80, rng=1, p=0.5)
+        from repro.metrics import classification_error
+
+        assert classification_error(result, truth) < 0.05
+
+    def test_aggregate_sampling_on_instance_input(self):
+        from repro import aggregate
+
+        truth, matrix = planted_instance(n=120, m=6, groups=3, flip=0.1, seed=10)
+        instance = CorrelationInstance.from_label_matrix(matrix)
+        result = aggregate(instance, method="sampling", sample_size=40, rng=0)
+        assert result.clustering == Clustering(truth)
+        assert result.disagreements is not None  # m known from the instance
+
+    def test_recursion_on_large_singleton_set(self):
+        truth, matrix = planted_instance(n=500, m=6, groups=4, flip=0.1, seed=8)
+        result, details = sampling(
+            matrix,
+            agglomerative,
+            sample_size=50,
+            rng=2,
+            max_singleton_subproblem=10,
+            return_details=True,
+        )
+        assert result.n == 500
+        # With such a tiny cap the round-up must have recursed (if there
+        # were enough leftovers) — and the result is still a partition.
+        assert details.leftover_singletons <= 500

@@ -1,0 +1,102 @@
+"""Tests for simulated annealing (repro.algorithms.annealing)."""
+
+import numpy as np
+import pytest
+
+from repro import Clustering, aggregate
+from repro.algorithms import local_search, simulated_annealing
+
+from conftest import random_aggregation_instance
+
+
+class TestSimulatedAnnealing:
+    def test_figure1_optimum(self, figure1_instance):
+        result = simulated_annealing(figure1_instance, rng=0)
+        assert result == Clustering([0, 1, 0, 1, 2, 2])
+
+    def test_registered_in_aggregate(self, figure1_clusterings):
+        result = aggregate(figure1_clusterings, method="annealing", rng=0)
+        assert result.disagreements == pytest.approx(5.0)
+
+    def test_never_worse_than_pure_local_search_start(self):
+        # With polish=True the result is at worst a local optimum.
+        for seed in range(3):
+            _, instance = random_aggregation_instance(n=20, m=4, k=3, seed=seed)
+            annealed = simulated_annealing(instance, rng=seed)
+            descended = local_search(instance)
+            # Annealing explores more; allow equality but not a clearly
+            # worse outcome than plain descent from singletons.
+            assert instance.cost(annealed) <= instance.cost(descended) + 1e-9
+
+    def test_polish_lands_on_local_optimum(self):
+        _, instance = random_aggregation_instance(n=15, m=3, k=3, seed=5)
+        result = simulated_annealing(instance, rng=1)
+        again = local_search(instance, initial=result)
+        assert instance.cost(again) == pytest.approx(instance.cost(result))
+
+    def test_deterministic_under_seed(self):
+        _, instance = random_aggregation_instance(n=18, m=4, k=3, seed=6)
+        a = simulated_annealing(instance, rng=42)
+        b = simulated_annealing(instance, rng=42)
+        assert a == b
+
+    def test_accepts_initial(self, figure1_instance, figure1_optimum):
+        result = simulated_annealing(figure1_instance, initial=figure1_optimum, rng=0)
+        assert figure1_instance.cost(result) <= figure1_instance.cost(figure1_optimum) + 1e-9
+
+    def test_invalid_parameters(self, figure1_instance):
+        with pytest.raises(ValueError):
+            simulated_annealing(figure1_instance, cooling=1.5)
+        with pytest.raises(ValueError):
+            simulated_annealing(figure1_instance, start_temperature=-1.0)
+        with pytest.raises(ValueError):
+            simulated_annealing(
+                figure1_instance, start_temperature=1e-4, minimum_temperature=1e-3
+            )
+        with pytest.raises(ValueError):
+            simulated_annealing(figure1_instance, initial=Clustering([0, 1]))
+
+    def test_single_object(self):
+        import numpy as np
+
+        from repro.core import CorrelationInstance
+
+        instance = CorrelationInstance.from_distances(np.zeros((1, 1)))
+        assert simulated_annealing(instance, rng=0).k == 1
+
+    def test_weighted_atoms_supported(self):
+        """Annealing runs on collapsed (weighted) instances: deltas are
+        cost-true, so the final weighted cost matches a from-scratch
+        evaluation on the expanded problem."""
+        import numpy as np
+
+        from repro.core import CorrelationInstance
+        from repro.core.atoms import collapse_duplicates
+        from conftest import planted_instance
+
+        _, base = planted_instance(n=20, m=4, groups=3, flip=0.2, seed=0)
+        rng = np.random.default_rng(0)
+        expanded = np.repeat(base, rng.integers(1, 4, size=20), axis=0)
+        atoms = collapse_duplicates(expanded)
+        collapsed = CorrelationInstance.from_label_matrix(
+            atoms.matrix, weights=atoms.weights
+        )
+        full = CorrelationInstance.from_label_matrix(expanded)
+        result = simulated_annealing(collapsed, rng=1)
+        assert collapsed.cost(result) == pytest.approx(
+            full.cost(atoms.expand(result)), rel=1e-9
+        )
+
+    def test_escapes_local_search_plateau_sometimes(self):
+        """On instances where singleton-start local search is suboptimal,
+        annealing should find a solution at least as good (it embeds the
+        same descent)."""
+        wins = 0
+        for seed in range(5):
+            _, instance = random_aggregation_instance(n=14, m=3, k=3, seed=seed + 40)
+            annealed_cost = instance.cost(simulated_annealing(instance, rng=seed))
+            descent_cost = instance.cost(local_search(instance))
+            assert annealed_cost <= descent_cost + 1e-9
+            wins += annealed_cost < descent_cost - 1e-9
+        # Not asserted — informational; equality on all five is possible.
+        assert wins >= 0

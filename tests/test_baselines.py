@@ -1,0 +1,152 @@
+"""Tests for the ROCK and LIMBO baselines (repro.baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import MISSING
+from repro.baselines import limbo, rock, rock_goodness_exponent
+from repro.baselines.limbo import _delta_information, _entropy_rows, _item_distributions
+from repro.baselines.rock import _link_matrix
+from repro.metrics import classification_error
+
+
+def two_group_categorical(seed=0, per_group=30, m=8, noise=0.1):
+    """Two well-separated categorical populations."""
+    rng = np.random.default_rng(seed)
+    data = np.empty((2 * per_group, m), dtype=np.int32)
+    for j in range(m):
+        data[:per_group, j] = np.where(rng.random(per_group) < noise, 1, 0)
+        data[per_group:, j] = np.where(rng.random(per_group) < noise, 2, 3)
+    classes = np.repeat([0, 1], per_group)
+    return data, classes
+
+
+class TestRock:
+    def test_goodness_exponent(self):
+        # f(0.5) = 1/3, exponent = 1 + 2/3.
+        assert rock_goodness_exponent(0.5) == pytest.approx(1 + 2 / 3)
+        assert rock_goodness_exponent(0.0) == pytest.approx(3.0)
+
+    def test_exponent_rejects_bad_theta(self):
+        with pytest.raises(ValueError):
+            rock_goodness_exponent(1.0)
+
+    def test_link_matrix_brute_force(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 3, size=(15, 4)).astype(np.int32)
+        theta = 0.3
+        links = _link_matrix(data, theta)
+        from repro.cluster.distances import jaccard_similarity_matrix
+
+        sims = jaccard_similarity_matrix(data)
+        adjacency = sims >= theta
+        np.fill_diagonal(adjacency, False)
+        for u in range(15):
+            for v in range(15):
+                expected = int(np.sum(adjacency[u] & adjacency[v]))
+                assert links[u, v] == expected
+
+    def test_separates_two_groups(self):
+        data, classes = two_group_categorical()
+        clustering = rock(data, k=2, theta=0.5)
+        assert classification_error(clustering, classes) == 0.0
+
+    def test_k_respected_when_links_exist(self):
+        data, _ = two_group_categorical()
+        clustering = rock(data, k=4, theta=0.5)
+        assert clustering.k == 4
+
+    def test_stops_without_links(self):
+        # theta = 0.99: nobody is anybody's neighbour, so no merging happens.
+        data, _ = two_group_categorical(noise=0.4)
+        clustering = rock(data, k=2, theta=0.99)
+        assert clustering.k == data.shape[0]
+
+    def test_sampling_path(self):
+        data, classes = two_group_categorical(per_group=100)
+        clustering = rock(data, k=2, theta=0.5, sample_size=40, rng=0)
+        assert clustering.n == 200
+        assert classification_error(clustering, classes) <= 0.05
+
+    def test_invalid_k(self):
+        data, _ = two_group_categorical()
+        with pytest.raises(ValueError):
+            rock(data, k=0)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            rock(np.zeros(5, dtype=np.int32), k=1)
+
+
+class TestLimboInternals:
+    def test_item_distributions_rows_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 3, size=(20, 5)).astype(np.int32)
+        data[rng.random((20, 5)) < 0.2] = MISSING
+        data[0] = 0
+        dists = _item_distributions(data)
+        assert np.allclose(dists.sum(axis=1), 1.0)
+
+    def test_missing_contributes_no_mass(self):
+        data = np.array([[0, MISSING]], dtype=np.int32)
+        dists = _item_distributions(data)
+        assert dists[0].sum() == pytest.approx(1.0)
+        # All mass on attribute 0's value.
+        assert dists[0, 0] == pytest.approx(1.0)
+
+    def test_entropy_of_uniform(self):
+        uniform = np.full((1, 4), 0.25)
+        assert _entropy_rows(uniform)[0] == pytest.approx(np.log(4))
+
+    def test_delta_information_nonnegative(self):
+        rng = np.random.default_rng(2)
+        p = rng.dirichlet(np.ones(6), size=4)
+        entropies = _entropy_rows(p)
+        deltas = _delta_information(0.3, p[0], entropies[0], np.full(3, 0.2), p[1:], entropies[1:])
+        assert np.all(deltas >= -1e-12)
+
+    def test_delta_zero_for_identical_distributions(self):
+        q = np.full(4, 0.25)
+        entropy = _entropy_rows(q[None, :])[0]
+        delta = _delta_information(0.5, q, entropy, np.array([0.5]), q[None, :], np.array([entropy]))
+        assert delta[0] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestLimbo:
+    def test_separates_two_groups(self):
+        data, classes = two_group_categorical()
+        clustering = limbo(data, k=2)
+        assert classification_error(clustering, classes) == 0.0
+
+    def test_k_respected(self):
+        data, _ = two_group_categorical()
+        for k in (2, 3, 5):
+            assert limbo(data, k=k).k == k
+
+    def test_summarization_budget(self):
+        data, classes = two_group_categorical(per_group=80)
+        clustering = limbo(data, k=2, phi=0.5, max_leaves=16)
+        assert classification_error(clustering, classes) <= 0.05
+
+    def test_phi_zero_and_positive_consistent_on_easy_data(self):
+        data, classes = two_group_categorical()
+        exact = limbo(data, k=2, phi=0.0)
+        lossy = limbo(data, k=2, phi=1.0, max_leaves=32)
+        assert classification_error(exact, classes) == 0.0
+        assert classification_error(lossy, classes) == 0.0
+
+    def test_invalid_parameters(self):
+        data, _ = two_group_categorical()
+        with pytest.raises(ValueError):
+            limbo(data, k=0)
+        with pytest.raises(ValueError):
+            limbo(data, k=2, phi=-1.0)
+        with pytest.raises(ValueError):
+            limbo(np.zeros(4, dtype=np.int32), k=1)
+
+    def test_handles_missing_values(self):
+        data, classes = two_group_categorical()
+        rng = np.random.default_rng(5)
+        data[rng.random(data.shape) < 0.1] = MISSING
+        clustering = limbo(data, k=2)
+        assert classification_error(clustering, classes) <= 0.1

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import CategoricalDataset, generate_votes
+
+
+@pytest.fixture
+def votes_csv(tmp_path):
+    path = tmp_path / "votes.csv"
+    generate_votes(n=120, rng=0).to_csv(path)
+    return str(path)
+
+
+class TestCli:
+    def test_methods_listing(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        assert "agglomerative" in out and "balls" in out
+
+    def test_generate_and_aggregate(self, tmp_path, capsys):
+        csv = str(tmp_path / "data.csv")
+        assert main(["generate", "votes", csv, "--rows", "100"]) == 0
+        assert main(["aggregate", csv, "--method", "agglomerative"]) == 0
+        out = capsys.readouterr().out
+        assert "clusters" in out
+        assert "E_C" in out
+
+    def test_aggregate_with_balls_alpha(self, votes_csv, capsys):
+        assert main(["aggregate", votes_csv, "--method", "balls", "--alpha", "0.4"]) == 0
+        assert "balls" in capsys.readouterr().out
+
+    def test_aggregate_sampling(self, votes_csv, capsys):
+        code = main(
+            [
+                "aggregate",
+                votes_csv,
+                "--method",
+                "sampling",
+                "--inner",
+                "furthest",
+                "--sample-size",
+                "60",
+            ]
+        )
+        assert code == 0
+        assert "sampling" in capsys.readouterr().out
+
+    def test_labels_written(self, votes_csv, tmp_path, capsys):
+        out_path = tmp_path / "labels.txt"
+        assert main(["aggregate", votes_csv, "--out", str(out_path)]) == 0
+        labels = np.loadtxt(out_path, dtype=int)
+        assert labels.shape == (120,)
+
+    def test_no_class_column(self, tmp_path, capsys):
+        data = CategoricalDataset(
+            "noclass", np.array([[0, 1], [1, 0], [0, 1]], dtype=np.int32), ["a", "b"]
+        )
+        path = tmp_path / "noclass.csv"
+        data.to_csv(path)
+        assert main(["aggregate", str(path), "--no-class"]) == 0
+        out = capsys.readouterr().out
+        assert "E_C" not in out
+
+    def test_generate_mushrooms(self, tmp_path, capsys):
+        csv = str(tmp_path / "mush.csv")
+        assert main(["generate", "mushrooms", csv, "--rows", "200"]) == 0
+        assert "200 rows" in capsys.readouterr().out
+
+    def test_unknown_method_rejected(self, votes_csv):
+        with pytest.raises(SystemExit):
+            main(["aggregate", votes_csv, "--method", "nope"])
+
+    def test_generate_census_and_movies(self, tmp_path, capsys):
+        for dataset in ("census", "movies"):
+            csv = str(tmp_path / f"{dataset}.csv")
+            assert main(["generate", dataset, csv, "--rows", "150"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("150 rows") == 2
+
+    def test_annealing_available(self, capsys):
+        main(["methods"])
+        assert "annealing" in capsys.readouterr().out
+
+    def test_custom_p(self, votes_csv, capsys):
+        assert main(["aggregate", votes_csv, "--p", "0.3"]) == 0
+        assert "clusters" in capsys.readouterr().out
+
+    def test_collapse_flag(self, votes_csv, capsys):
+        assert main(["aggregate", votes_csv, "--collapse"]) == 0
+        assert "clusters" in capsys.readouterr().out

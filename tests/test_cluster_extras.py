@@ -1,0 +1,102 @@
+"""Tests for the substrate extras: DBSCAN and k-selection (repro.cluster)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    dbscan,
+    euclidean_matrix,
+    kmeans,
+    kmeans_bic,
+    select_k_bic,
+    select_k_cross_validation,
+)
+from repro.core.labels import contingency_table
+from repro.datasets import gaussian_with_noise
+
+
+def blobs(seed=0, k=3, per=50, std=0.03):
+    data = gaussian_with_noise(k, points_per_cluster=per, noise_fraction=0.0,
+                               cluster_std=std, rng=seed)
+    return data.points, data.truth
+
+
+class TestDbscan:
+    def test_recovers_dense_blobs(self):
+        points, truth = blobs()
+        labels = dbscan(points, eps=0.05, min_samples=4)
+        # Big clusters must match the blobs one-to-one (stray border
+        # singletons allowed).
+        table = contingency_table(labels, truth)
+        top = np.sort(table.max(axis=1))[-3:]
+        assert top.sum() >= len(points) * 0.95
+
+    def test_noise_as_singletons_partition(self):
+        points, _ = blobs()
+        rng = np.random.default_rng(0)
+        with_noise = np.vstack([points, rng.uniform(2, 3, size=(10, 2))])
+        labels = dbscan(with_noise, eps=0.05, min_samples=4)
+        assert labels.min() >= 0  # every point labelled
+
+    def test_noise_kept_as_minus_one(self):
+        points, _ = blobs()
+        rng = np.random.default_rng(0)
+        with_noise = np.vstack([points, rng.uniform(2, 3, size=(10, 2))])
+        labels = dbscan(with_noise, eps=0.05, min_samples=4, noise_as_singletons=False)
+        assert (labels[-10:] == -1).all()
+
+    def test_distance_matrix_input(self):
+        points, _ = blobs(seed=1)
+        direct = dbscan(points, eps=0.05, min_samples=4)
+        via_matrix = dbscan(distances=euclidean_matrix(points), eps=0.05, min_samples=4)
+        assert np.array_equal(direct, via_matrix)
+
+    def test_everything_noise_with_tiny_eps(self):
+        points, _ = blobs(seed=2)
+        labels = dbscan(points, eps=1e-9, min_samples=2, noise_as_singletons=False)
+        assert (labels == -1).all()
+
+    def test_one_cluster_with_huge_eps(self):
+        points, _ = blobs(seed=3)
+        labels = dbscan(points, eps=100.0, min_samples=2)
+        assert len(np.unique(labels)) == 1
+
+    def test_invalid_parameters(self):
+        points, _ = blobs()
+        with pytest.raises(ValueError):
+            dbscan(points, eps=0.0)
+        with pytest.raises(ValueError):
+            dbscan(points, min_samples=0)
+        with pytest.raises(ValueError):
+            dbscan(points, distances=euclidean_matrix(points))
+        with pytest.raises(ValueError):
+            dbscan()
+
+
+class TestModelSelection:
+    def test_bic_peaks_at_true_k(self):
+        points, _ = blobs(seed=4, k=4, per=60)
+        best, scores = select_k_bic(points, range(2, 9), rng=0)
+        assert best == 4
+        assert max(scores, key=scores.get) == 4
+
+    def test_cross_validation_peaks_at_true_k(self):
+        points, _ = blobs(seed=5, k=3, per=60)
+        best, _ = select_k_cross_validation(points, range(2, 8), rng=0)
+        assert best == 3
+
+    def test_kmeans_bic_penalizes_overfitting(self):
+        points, _ = blobs(seed=6, k=2, per=60)
+        fit2 = kmeans(points, 2, rng=0)
+        fit9 = kmeans(points, 9, rng=0)
+        assert kmeans_bic(points, fit2) > kmeans_bic(points, fit9)
+
+    def test_cv_fold_validation(self):
+        points, _ = blobs(seed=7)
+        with pytest.raises(ValueError):
+            select_k_cross_validation(points, folds=1)
+
+    def test_scores_cover_requested_range(self):
+        points, _ = blobs(seed=8)
+        _, scores = select_k_bic(points, range(2, 6), rng=0)
+        assert sorted(scores) == [2, 3, 4, 5]

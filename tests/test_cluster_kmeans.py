@@ -1,0 +1,103 @@
+"""Tests for the k-means substrate (repro.cluster.kmeans)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import kmeans
+from repro.cluster.kmeans import KMeansResult
+
+
+def three_blobs(seed=0, sizes=(40, 40, 40)):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    points = np.vstack(
+        [rng.normal(center, 0.3, size=(size, 2)) for center, size in zip(centers, sizes)]
+    )
+    truth = np.repeat(np.arange(3), sizes)
+    return points, truth
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        points, truth = three_blobs()
+        result = kmeans(points, 3, rng=0)
+        # Perfect recovery up to label names: within each true blob all
+        # labels agree, across blobs they differ.
+        for blob in range(3):
+            blob_labels = result.labels[truth == blob]
+            assert len(set(blob_labels.tolist())) == 1
+        assert len(set(result.labels.tolist())) == 3
+
+    def test_result_type_and_fields(self):
+        points, _ = three_blobs()
+        result = kmeans(points, 3, rng=0)
+        assert isinstance(result, KMeansResult)
+        assert result.centers.shape == (3, 2)
+        assert result.inertia >= 0
+        assert result.converged
+        assert result.iterations >= 1
+
+    def test_inertia_decreases_with_k(self):
+        points, _ = three_blobs()
+        inertias = [kmeans(points, k, rng=0, n_init=3).inertia for k in (1, 2, 3, 6)]
+        assert all(a >= b - 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+    def test_k_equals_n(self):
+        points = np.random.default_rng(0).normal(size=(5, 2))
+        result = kmeans(points, 5, rng=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_k_one(self):
+        points, _ = three_blobs()
+        result = kmeans(points, 1, rng=0)
+        assert np.allclose(result.centers[0], points.mean(axis=0))
+
+    def test_invalid_k(self):
+        points, _ = three_blobs()
+        with pytest.raises(ValueError):
+            kmeans(points, 0)
+        with pytest.raises(ValueError):
+            kmeans(points, len(points) + 1)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(10), 2)
+
+    def test_invalid_n_init(self):
+        points, _ = three_blobs()
+        with pytest.raises(ValueError):
+            kmeans(points, 2, n_init=0)
+
+    def test_deterministic_under_seed(self):
+        points, _ = three_blobs()
+        a = kmeans(points, 4, rng=7)
+        b = kmeans(points, 4, rng=7)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_random_init_mode(self):
+        points, _ = three_blobs()
+        result = kmeans(points, 3, init="random", rng=0)
+        assert result.inertia < 1000
+
+    def test_unknown_init_rejected(self):
+        points, _ = three_blobs()
+        with pytest.raises(ValueError):
+            kmeans(points, 2, init="pca")
+
+    def test_no_empty_clusters(self):
+        # Near-duplicated points invite empty clusters; repair must fill them.
+        rng = np.random.default_rng(0)
+        points = np.vstack(
+            [rng.normal(0.0, 0.01, size=(20, 2)), rng.normal(5.0, 0.01, size=(2, 2))]
+        )
+        result = kmeans(points, 3, rng=0, n_init=5)
+        assert len(np.unique(result.labels)) == 3
+
+    def test_inertia_matches_labels(self):
+        points, _ = three_blobs()
+        result = kmeans(points, 3, rng=1)
+        explicit = sum(
+            float(((points[result.labels == c] - result.centers[c]) ** 2).sum())
+            for c in range(3)
+        )
+        assert result.inertia == pytest.approx(explicit, rel=1e-9)

@@ -1,0 +1,110 @@
+"""Tests for hierarchical linkage (repro.cluster.linkage), cross-checked against scipy."""
+
+import numpy as np
+import pytest
+import scipy.cluster.hierarchy as sch
+
+from repro.core.labels import contingency_table
+from repro.cluster import hierarchical, linkage
+
+METHODS = ("single", "complete", "average", "ward")
+
+
+def random_points(seed, n=40, d=2):
+    return np.random.default_rng(seed).normal(size=(n, d))
+
+
+def partitions_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    table = contingency_table(a, b)
+    return int((table > 0).sum()) == max(table.shape) and table.shape[0] == table.shape[1]
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_flat_cuts_match_scipy(self, method, seed):
+        points = random_points(seed)
+        Z = sch.linkage(points, method)
+        ours = linkage(points, method=method)
+        for k in (2, 3, 5, 8):
+            theirs = sch.fcluster(Z, k, "maxclust") - 1
+            assert partitions_equal(ours.cut(k), theirs), (method, k)
+
+    @pytest.mark.parametrize("method", ("single", "complete", "average"))
+    def test_heights_match_scipy(self, method):
+        points = random_points(5)
+        Z = sch.linkage(points, method)
+        ours = linkage(points, method=method)
+        assert np.allclose(np.sort(Z[:, 2]), ours.heights(), rtol=1e-9)
+
+    def test_ward_heights_are_squared_scale(self):
+        # Our Ward works in squared-Euclidean scale; scipy reports sqrt of
+        # a related quantity — only the merge *structure* must agree.
+        points = random_points(9)
+        Z = sch.linkage(points, "ward")
+        ours = linkage(points, method="ward")
+        for k in (2, 4, 6):
+            theirs = sch.fcluster(Z, k, "maxclust") - 1
+            assert partitions_equal(ours.cut(k), theirs)
+
+
+class TestApi:
+    def test_cut_range_validation(self):
+        result = linkage(random_points(0, n=10))
+        with pytest.raises(ValueError):
+            result.cut(0)
+        with pytest.raises(ValueError):
+            result.cut(11)
+
+    def test_cut_extremes(self):
+        result = linkage(random_points(1, n=12))
+        assert len(np.unique(result.cut(1))) == 1
+        assert len(np.unique(result.cut(12))) == 12
+
+    def test_cut_height_zero_gives_singletons(self):
+        result = linkage(random_points(2, n=9))
+        assert len(np.unique(result.cut_height(-1.0))) == 9
+
+    def test_cut_height_infinity_gives_one_cluster(self):
+        result = linkage(random_points(3, n=9))
+        assert len(np.unique(result.cut_height(np.inf))) == 1
+
+    def test_distance_matrix_input(self):
+        points = random_points(4, n=15)
+        from repro.cluster import euclidean_matrix
+
+        via_points = linkage(points, method="average")
+        via_matrix = linkage(distances=euclidean_matrix(points), method="average")
+        assert partitions_equal(via_points.cut(4), via_matrix.cut(4))
+
+    def test_ward_requires_points(self):
+        with pytest.raises(ValueError):
+            linkage(distances=np.zeros((3, 3)), method="ward")
+
+    def test_exactly_one_input(self):
+        points = random_points(5, n=5)
+        with pytest.raises(ValueError):
+            linkage(points, distances=np.zeros((5, 5)))
+        with pytest.raises(ValueError):
+            linkage()
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            linkage(random_points(0, n=5), method="centroid")
+
+    def test_single_point(self):
+        result = linkage(np.zeros((1, 2)))
+        assert result.merges.shape == (0, 3)
+        assert result.cut(1).tolist() == [0]
+
+    def test_hierarchical_convenience(self):
+        points = random_points(6, n=20)
+        labels = hierarchical(points, 4, "complete")
+        assert len(np.unique(labels)) == 4
+
+    def test_monotone_heights(self):
+        # All four linkages are reducible, so dendrogram heights ascend.
+        for method in METHODS:
+            result = linkage(random_points(7, n=25), method=method)
+            heights = result.heights()
+            assert np.all(np.diff(heights) >= -1e-9), method

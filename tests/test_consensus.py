@@ -1,0 +1,195 @@
+"""Tests for the §6 related-work consensus methods (repro.consensus)."""
+
+import numpy as np
+import pytest
+
+from repro import Clustering
+from repro.core.instance import disagreement_fractions
+from repro.core.labels import MISSING, as_label_matrix
+from repro.consensus import (
+    coassociation_matrix,
+    cspa,
+    evidence_accumulation,
+    genetic_consensus,
+    mcla,
+    mixture_consensus,
+    mixture_consensus_bic,
+)
+from repro.core.instance import CorrelationInstance
+
+from conftest import planted_instance
+
+
+class TestCoassociation:
+    def test_complement_of_disagreement(self):
+        _, matrix = planted_instance(n=30, m=4, groups=3, flip=0.2, seed=0)
+        agreement = coassociation_matrix(matrix)
+        disagreement = disagreement_fractions(matrix)
+        off_diagonal = ~np.eye(30, dtype=bool)
+        assert np.allclose(agreement[off_diagonal], 1.0 - disagreement[off_diagonal])
+
+    def test_unit_diagonal(self):
+        _, matrix = planted_instance(n=10, m=3, groups=2, flip=0.1, seed=1)
+        assert np.allclose(np.diagonal(coassociation_matrix(matrix)), 1.0)
+
+    def test_missing_contributes_p(self):
+        matrix = np.array([[0, MISSING], [0, 0]], dtype=np.int32)
+        agreement = coassociation_matrix(matrix, p=0.3)
+        # Attribute 0 agrees (1.0); attribute 1 contributes p = 0.3.
+        assert agreement[0, 1] == pytest.approx((1.0 + 0.3) / 2)
+
+
+class TestEvidenceAccumulation:
+    def test_recovers_planted_with_k(self):
+        truth, matrix = planted_instance(n=90, m=8, groups=3, flip=0.1, seed=2)
+        assert evidence_accumulation(matrix, k=3) == Clustering(truth)
+
+    def test_lifetime_rule_finds_k(self):
+        truth, matrix = planted_instance(n=90, m=8, groups=4, flip=0.1, seed=3)
+        result = evidence_accumulation(matrix)
+        assert result == Clustering(truth)
+
+    def test_threshold_cut(self):
+        truth, matrix = planted_instance(n=60, m=6, groups=3, flip=0.05, seed=4)
+        result = evidence_accumulation(matrix, threshold=0.5)
+        assert result == Clustering(truth)
+
+    def test_threshold_one_gives_fine_clusters(self):
+        _, matrix = planted_instance(n=40, m=5, groups=3, flip=0.3, seed=5)
+        strict = evidence_accumulation(matrix, threshold=1.0)
+        loose = evidence_accumulation(matrix, threshold=0.0)
+        assert strict.k >= loose.k
+
+    def test_k_and_threshold_exclusive(self):
+        _, matrix = planted_instance(n=20, m=3, groups=2, flip=0.1, seed=6)
+        with pytest.raises(ValueError):
+            evidence_accumulation(matrix, k=2, threshold=0.5)
+
+    def test_average_variant(self):
+        truth, matrix = planted_instance(n=60, m=6, groups=3, flip=0.1, seed=7)
+        assert evidence_accumulation(matrix, k=3, method="average") == Clustering(truth)
+
+    def test_invalid_threshold(self):
+        _, matrix = planted_instance(n=20, m=3, groups=2, flip=0.1, seed=8)
+        with pytest.raises(ValueError):
+            evidence_accumulation(matrix, threshold=1.5)
+
+
+class TestHypergraph:
+    def test_cspa_recovers_planted(self):
+        truth, matrix = planted_instance(n=80, m=7, groups=4, flip=0.1, seed=9)
+        assert cspa(matrix, k=4) == Clustering(truth)
+
+    def test_cspa_merges_far_nodes_when_k_too_small(self):
+        """The paper's §6 critique: cutting at k merges dissimilar nodes."""
+        truth, matrix = planted_instance(n=60, m=8, groups=4, flip=0.05, seed=10)
+        forced = cspa(matrix, k=2)
+        assert forced.k == 2  # it obliges — no penalty for the merge
+
+    def test_mcla_recovers_planted(self):
+        truth, matrix = planted_instance(n=80, m=7, groups=4, flip=0.1, seed=11)
+        assert mcla(matrix, k=4) == Clustering(truth)
+
+    def test_mcla_needs_enough_hyperedges(self):
+        matrix = as_label_matrix([[0, 0, 1, 1]])  # 2 hyperedges only
+        with pytest.raises(ValueError):
+            mcla(matrix, k=3)
+
+    def test_invalid_k(self):
+        _, matrix = planted_instance(n=20, m=3, groups=2, flip=0.1, seed=12)
+        with pytest.raises(ValueError):
+            cspa(matrix, k=0)
+        with pytest.raises(ValueError):
+            mcla(matrix, k=0)
+
+
+class TestMixture:
+    def test_recovers_planted(self):
+        truth, matrix = planted_instance(n=100, m=8, groups=4, flip=0.1, seed=13)
+        result = mixture_consensus(matrix, k=4, rng=0)
+        assert result.clustering == Clustering(truth)
+        assert result.converged
+
+    def test_log_likelihood_increases_with_k_on_train(self):
+        _, matrix = planted_instance(n=60, m=5, groups=3, flip=0.2, seed=14)
+        ll2 = mixture_consensus(matrix, k=2, rng=0).log_likelihood
+        ll6 = mixture_consensus(matrix, k=6, rng=0).log_likelihood
+        assert ll6 >= ll2 - 1e-6  # more components never fit worse (train LL)
+
+    def test_bic_selects_planted_k(self):
+        _, matrix = planted_instance(n=150, m=8, groups=4, flip=0.1, seed=15)
+        best, scores = mixture_consensus_bic(matrix, range(2, 8), rng=0)
+        assert best.clustering.k == 4
+        assert min(scores, key=scores.get) == 4
+
+    def test_handles_missing(self):
+        truth, matrix = planted_instance(n=80, m=6, groups=3, flip=0.1, seed=16)
+        matrix = matrix.copy()
+        rng = np.random.default_rng(0)
+        matrix[rng.random(matrix.shape) < 0.15] = MISSING
+        matrix[0] = 0
+        result = mixture_consensus(matrix, k=3, rng=0)
+        # Allow a few mistakes under missingness.
+        from repro.metrics import classification_error
+
+        assert classification_error(result.clustering, truth) < 0.1
+
+    def test_parameter_count(self):
+        _, matrix = planted_instance(n=30, m=4, groups=3, flip=0.1, seed=17)
+        result = mixture_consensus(matrix, k=2, rng=0)
+        arities = [int(matrix[:, j].max()) + 1 for j in range(matrix.shape[1])]
+        expected = 1 + 2 * sum(a - 1 for a in arities)
+        assert result.n_parameters == expected
+
+    def test_invalid_k(self):
+        _, matrix = planted_instance(n=20, m=3, groups=2, flip=0.1, seed=18)
+        with pytest.raises(ValueError):
+            mixture_consensus(matrix, k=0)
+
+
+class TestGenetic:
+    def test_recovers_easy_planted(self):
+        truth, matrix = planted_instance(n=24, m=8, groups=3, flip=0.05, seed=20)
+        instance = CorrelationInstance.from_label_matrix(matrix)
+        result = genetic_consensus(instance, generations=200, rng=0)
+        assert result == Clustering(truth)
+
+    def test_converges_slowly_on_larger_instances(self):
+        """The GA's characteristic weakness — the reason the paper's direct
+        combinatorial algorithms won this line of work: at a budget where
+        AGGLOMERATIVE is exact-ish, the GA is still far away."""
+        from repro.algorithms import agglomerative
+
+        truth, matrix = planted_instance(n=40, m=8, groups=3, flip=0.05, seed=20)
+        instance = CorrelationInstance.from_label_matrix(matrix)
+        ga = genetic_consensus(instance, generations=80, rng=0)
+        direct = agglomerative(instance)
+        assert instance.cost(direct) <= instance.cost(ga)
+
+    def test_seeded_never_worse_than_seed(self):
+        truth, matrix = planted_instance(n=30, m=5, groups=3, flip=0.2, seed=21)
+        instance = CorrelationInstance.from_label_matrix(matrix)
+        seed = Clustering(np.random.default_rng(0).integers(0, 4, size=30))
+        result = genetic_consensus(
+            instance, generations=40, seeds=[seed], elite=2, rng=0
+        )
+        assert instance.cost(result) <= instance.cost(seed) + 1e-9
+
+    def test_deterministic_under_seed(self):
+        _, matrix = planted_instance(n=25, m=4, groups=3, flip=0.2, seed=22)
+        instance = CorrelationInstance.from_label_matrix(matrix)
+        a = genetic_consensus(instance, generations=30, rng=7)
+        b = genetic_consensus(instance, generations=30, rng=7)
+        assert a == b
+
+    def test_parameter_validation(self):
+        _, matrix = planted_instance(n=10, m=3, groups=2, flip=0.1, seed=23)
+        instance = CorrelationInstance.from_label_matrix(matrix)
+        with pytest.raises(ValueError):
+            genetic_consensus(instance, population_size=1)
+        with pytest.raises(ValueError):
+            genetic_consensus(instance, elite=50)
+        with pytest.raises(ValueError):
+            genetic_consensus(instance, mutation_rate=2.0)
+        with pytest.raises(ValueError):
+            genetic_consensus(instance, seeds=[Clustering([0, 1])])

@@ -1,0 +1,215 @@
+"""Tests for the dataset generators and the categorical container."""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import MISSING
+from repro.datasets import (
+    CategoricalDataset,
+    gaussian_with_noise,
+    generate_census,
+    generate_mushrooms,
+    generate_votes,
+    seven_groups,
+)
+
+
+class TestCategoricalDataset:
+    def make(self):
+        data = np.array([[0, 1], [1, MISSING], [0, 0]], dtype=np.int32)
+        return CategoricalDataset(
+            name="toy",
+            data=data,
+            attribute_names=["a", "b"],
+            classes=np.array([0, 1, 0]),
+            class_names=["x", "y"],
+            value_names=[["u", "v"], ["p", "q"]],
+        )
+
+    def test_shape_properties(self):
+        ds = self.make()
+        assert (ds.n, ds.m) == (3, 2)
+        assert ds.missing_count() == 1
+        assert ds.arities().tolist() == [2, 2]
+
+    def test_label_matrix_is_data(self):
+        ds = self.make()
+        assert ds.label_matrix() is ds.data
+
+    def test_attribute_name_count_enforced(self):
+        with pytest.raises(ValueError):
+            CategoricalDataset("bad", np.zeros((2, 2), dtype=np.int32), ["only-one"])
+
+    def test_class_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            CategoricalDataset(
+                "bad", np.zeros((2, 1), dtype=np.int32), ["a"], classes=np.array([0])
+            )
+
+    def test_subset(self):
+        ds = self.make()
+        sub = ds.subset(np.array([0, 2]))
+        assert sub.n == 2
+        assert sub.classes.tolist() == [0, 0]
+
+    def test_csv_round_trip(self, tmp_path):
+        ds = self.make()
+        path = tmp_path / "toy.csv"
+        ds.to_csv(path)
+        back = CategoricalDataset.from_csv(path)
+        assert back.n == ds.n and back.m == ds.m
+        assert back.missing_count() == 1
+        assert back.classes is not None
+        # Same partition structure per column (codes may be renumbered).
+        for j in range(ds.m):
+            ours = ds.data[:, j]
+            theirs = back.data[:, j]
+            assert np.array_equal(ours == MISSING, theirs == MISSING)
+
+    def test_csv_without_class(self, tmp_path):
+        data = np.array([[0], [1]], dtype=np.int32)
+        ds = CategoricalDataset("noclass", data, ["a"])
+        path = tmp_path / "noclass.csv"
+        ds.to_csv(path)
+        back = CategoricalDataset.from_csv(path)
+        assert back.classes is None
+
+    def test_csv_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(ValueError):
+            CategoricalDataset.from_csv(path)
+
+
+class TestVotes:
+    def test_default_shape(self):
+        ds = generate_votes(rng=0)
+        assert (ds.n, ds.m) == (435, 16)
+        assert ds.missing_count() == 288
+        assert np.bincount(ds.classes).tolist() == [267, 168]
+
+    def test_binary_attributes(self):
+        ds = generate_votes(rng=0)
+        assert np.all(ds.arities() == 2)
+
+    def test_scaled_size(self):
+        ds = generate_votes(n=100, rng=0)
+        assert ds.n == 100
+        assert ds.missing_count() == round(288 * 100 / 435)
+
+    def test_deterministic(self):
+        a, b = generate_votes(rng=5), generate_votes(rng=5)
+        assert np.array_equal(a.data, b.data)
+
+    def test_parties_are_separated(self):
+        # Most same-party pairs agree more than cross-party pairs.
+        ds = generate_votes(rng=0)
+        from repro.core.instance import disagreement_fractions
+
+        X = disagreement_fractions(ds.data)
+        cls = ds.classes
+        within = X[np.ix_(cls == 0, cls == 0)].mean()
+        across = X[np.ix_(cls == 0, cls == 1)].mean()
+        assert across > within + 0.15
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_votes(n=1)
+
+
+class TestMushrooms:
+    def test_default_shape(self):
+        ds = generate_mushrooms(rng=0)
+        assert (ds.n, ds.m) == (8124, 22)
+        assert ds.missing_count() == 2480
+        # Class totals of the real dataset (from Table 1): 3916 poisonous.
+        assert int(ds.classes.sum()) == 3916
+
+    def test_missing_all_in_stalk_root(self):
+        ds = generate_mushrooms(n=2000, rng=0)
+        missing_per_column = (ds.data == MISSING).sum(axis=0)
+        assert missing_per_column[10] == ds.missing_count()
+        assert (np.delete(missing_per_column, 10) == 0).all()
+
+    def test_scaled_sizes_sum(self):
+        ds = generate_mushrooms(n=1500, rng=1)
+        assert ds.n == 1500
+
+    def test_veil_type_single_valued(self):
+        ds = generate_mushrooms(n=500, rng=0)
+        column = ds.data[:, 15]
+        assert np.unique(column[column != MISSING]).size == 1
+
+    def test_deterministic(self):
+        a = generate_mushrooms(n=300, rng=3)
+        b = generate_mushrooms(n=300, rng=3)
+        assert np.array_equal(a.data, b.data)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_mushrooms(n=3)
+
+
+class TestCensus:
+    def test_default_shape(self):
+        ds = generate_census(n=5000, rng=0)
+        assert (ds.n, ds.m) == (5000, 8)
+        assert set(np.unique(ds.classes)) <= {0, 1}
+
+    def test_arity_bounds(self):
+        ds = generate_census(n=5000, rng=0)
+        expected_max = [9, 16, 7, 15, 6, 5, 2, 42]
+        for j, bound in enumerate(expected_max):
+            assert ds.arities()[j] <= bound
+
+    def test_group_floor(self):
+        with pytest.raises(ValueError):
+            generate_census(n=10, n_groups=55)
+
+    def test_mixed_classes(self):
+        # Subgroups mix salary classes: E_C of any clustering stays > 0.15.
+        ds = generate_census(n=8000, rng=0)
+        minority = min(np.bincount(ds.classes)) / ds.n
+        assert 0.15 <= minority <= 0.5
+
+
+class TestSynthetic2D:
+    def test_seven_groups_shape(self):
+        data = seven_groups(rng=0)
+        assert data.points.shape[1] == 2
+        assert len(np.unique(data.truth)) == 7
+        assert 600 <= data.n <= 900
+
+    def test_seven_groups_uneven_sizes(self):
+        data = seven_groups(rng=0)
+        sizes = np.bincount(data.truth)
+        assert sizes.max() > 3 * sizes.min()
+
+    def test_gaussian_with_noise_counts(self):
+        data = gaussian_with_noise(5, points_per_cluster=50, noise_fraction=0.2, rng=0)
+        assert data.n == 5 * 50 + round(0.2 * 250)
+        assert (data.truth == -1).sum() == round(0.2 * 250)
+
+    def test_gaussian_zero_noise(self):
+        data = gaussian_with_noise(3, points_per_cluster=10, noise_fraction=0.0, rng=0)
+        assert (data.truth >= 0).all()
+
+    def test_gaussian_invalid_params(self):
+        with pytest.raises(ValueError):
+            gaussian_with_noise(0)
+        with pytest.raises(ValueError):
+            gaussian_with_noise(3, noise_fraction=1.0)
+
+    def test_points_in_unit_square_mostly(self):
+        data = gaussian_with_noise(4, rng=1)
+        inside = ((data.points >= -0.1) & (data.points <= 1.1)).all(axis=1).mean()
+        assert inside > 0.98
+
+    def test_ascii_plot_renders(self):
+        data = seven_groups(rng=0)
+        art = data.ascii_plot(width=40, height=12)
+        assert len(art.splitlines()) == 12
+
+    def test_deterministic(self):
+        a, b = seven_groups(rng=2), seven_groups(rng=2)
+        assert np.allclose(a.points, b.points)

@@ -1,0 +1,54 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+The heavyweight examples (100K-point sampling, privacy-preserving
+aggregation over 4000 people) are exercised by the benchmark suite's
+equivalent workloads; here we run the quick ones as a user would.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "Optimal aggregate" in out
+    assert "5 disagreements" in out
+
+
+def test_categorical_votes_runs(capsys):
+    run_example("categorical_votes.py")
+    out = capsys.readouterr().out
+    assert "AGGLOMERATIVE consensus vs party labels" in out
+
+
+def test_movies_outliers_runs(capsys):
+    run_example("movies_outliers.py")
+    out = capsys.readouterr().out
+    assert "isolated in tiny clusters: 8 / 8" in out
+
+
+def test_heterogeneous_data_runs(capsys):
+    run_example("heterogeneous_data.py")
+    out = capsys.readouterr().out
+    assert "aggregated: k =" in out
+
+
+def test_large_scale_sampling_runs_small(capsys):
+    run_example("large_scale_sampling.py", ["6000"])
+    out = capsys.readouterr().out
+    assert "consensus:" in out

@@ -1,0 +1,105 @@
+"""Tests for the experiment harness (repro.experiments)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_votes
+from repro.experiments import (
+    banner,
+    categorical_table,
+    current_scale,
+    disagreement_cost,
+    format_number,
+    kmeans_sweep,
+    render_table,
+)
+from repro.experiments.scale import Scale
+
+
+class TestTables:
+    def test_format_number_ints(self):
+        assert format_number(1234567) == "1,234,567"
+
+    def test_format_number_floats(self):
+        assert format_number(3.14159) == "3.142"
+        assert format_number(12.345) == "12.3"
+        assert format_number(1234.5) == "1,234"
+
+    def test_format_number_nan(self):
+        assert format_number(float("nan")) == "-"
+
+    def test_format_number_strings_passthrough(self):
+        assert format_number("x") == "x"
+
+    def test_render_table_alignment(self):
+        text = render_table(("a", "bb"), [(1, 2), (33, 44)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_banner_contains_text(self):
+        assert "hello" in banner("hello")
+
+
+class TestScale:
+    def test_default_is_ci(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "ci"
+
+    def test_paper_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        scale = current_scale()
+        assert scale.name == "paper"
+        assert scale.mushrooms_rows is None  # generator default = 8124
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_describe_mentions_name(self):
+        scale = Scale("x", 10, 10, 5, (1,), (1,))
+        assert "scale=x" in scale.describe()
+
+
+class TestRunner:
+    def test_kmeans_sweep_shape(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(60, 2))
+        matrix = kmeans_sweep(points, k_range=range(2, 6), n_init=2)
+        assert matrix.shape == (60, 4)
+        for j, k in enumerate(range(2, 6)):
+            assert len(np.unique(matrix[:, j])) <= k
+
+    def test_categorical_table_rows(self):
+        dataset = generate_votes(n=120, rng=0)
+        rows = categorical_table(dataset, methods=("agglomerative", "local-search"))
+        labels = [row.label for row in rows]
+        assert labels[0] == "Class labels"
+        assert labels[1] == "Lower bound"
+        assert "AGGLOMERATIVE" in labels and "LOCAL-SEARCH" in labels
+        lower = rows[1].disagreement_cost
+        for row in rows:
+            if row.label != "Lower bound":
+                assert row.disagreement_cost >= lower - 1e-6
+
+    def test_disagreement_cost_is_d_of_c(self):
+        from repro import Clustering
+        from repro.core import total_disagreement
+
+        dataset = generate_votes(n=80, rng=1)
+        clustering = Clustering(dataset.classes)
+        expected = total_disagreement(dataset.label_matrix(), clustering) / dataset.m
+        assert disagreement_cost(dataset, clustering) == pytest.approx(expected)
+
+    def test_categorical_table_with_baselines(self):
+        dataset = generate_votes(n=100, rng=2)
+        rows = categorical_table(
+            dataset,
+            methods=("agglomerative",),
+            rock_params=((2, 0.45),),
+            limbo_params=((2, 0.0),),
+        )
+        labels = [row.label for row in rows]
+        assert any(label.startswith("ROCK") for label in labels)
+        assert any(label.startswith("LIMBO") for label in labels)

@@ -1,0 +1,153 @@
+"""Tests for the evaluation metrics (repro.metrics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import Clustering
+from repro.metrics import (
+    adjusted_rand_index,
+    classification_error,
+    cluster_size_summary,
+    confusion_matrix,
+    normalized_mutual_information,
+    purity,
+    rand_index,
+    variation_of_information,
+)
+
+labels_pairs = st.integers(0, 10_000).map(
+    lambda seed: (
+        np.random.default_rng(seed).integers(0, 4, size=20),
+        np.random.default_rng(seed + 1).integers(0, 4, size=20),
+    )
+)
+
+
+class TestClassificationError:
+    def test_pure_clusters(self):
+        clustering = Clustering([0, 0, 1, 1])
+        classes = np.array([1, 1, 0, 0])
+        assert classification_error(clustering, classes) == 0.0
+
+    def test_known_value(self):
+        clustering = Clustering([0, 0, 0, 1, 1, 1])
+        classes = np.array([0, 0, 1, 1, 1, 0])
+        # Cluster 0 majority 0 (1 wrong), cluster 1 majority 1 (1 wrong).
+        assert classification_error(clustering, classes) == pytest.approx(2 / 6)
+
+    def test_singletons_are_pure(self):
+        # The degenerate case the paper warns about: k = n gives E_C = 0.
+        classes = np.array([0, 1, 0, 1])
+        assert classification_error(Clustering.singletons(4), classes) == 0.0
+
+    def test_purity_complement(self):
+        clustering = Clustering([0, 0, 1, 1, 1])
+        classes = np.array([0, 1, 1, 1, 0])
+        assert purity(clustering, classes) == pytest.approx(
+            1.0 - classification_error(clustering, classes)
+        )
+
+    def test_confusion_matrix_layout(self):
+        clustering = Clustering([0, 0, 1])
+        classes = np.array([1, 0, 1])
+        table = confusion_matrix(clustering, classes)
+        assert table.shape == (2, 2)  # rows = classes, columns = clusters
+        assert table[1, 0] == 1 and table[0, 0] == 1 and table[1, 1] == 1
+
+
+class TestRandIndices:
+    def test_identical(self):
+        c = Clustering([0, 0, 1, 2])
+        assert rand_index(c, c) == 1.0
+        assert adjusted_rand_index(c, c) == pytest.approx(1.0)
+
+    def test_known_rand_value(self):
+        a = Clustering([0, 0, 1, 1])
+        b = Clustering([0, 1, 0, 1])
+        # agreements: no pair co-clustered in both; pairs split in both: (0,3),(1,2) -> 2 of 6.
+        assert rand_index(a, b) == pytest.approx(2 / 6)
+
+    def test_ari_zero_expectation_behaviour(self):
+        rng = np.random.default_rng(0)
+        values = [
+            adjusted_rand_index(
+                Clustering(rng.integers(0, 3, 60)), Clustering(rng.integers(0, 3, 60))
+            )
+            for _ in range(30)
+        ]
+        assert abs(float(np.mean(values))) < 0.1  # near zero for random pairs
+
+    @given(labels_pairs)
+    def test_rand_bounds(self, pair):
+        a, b = pair
+        value = rand_index(Clustering(a), Clustering(b))
+        assert 0.0 <= value <= 1.0
+
+    @given(labels_pairs)
+    def test_ari_not_above_one(self, pair):
+        a, b = pair
+        assert adjusted_rand_index(Clustering(a), Clustering(b)) <= 1.0 + 1e-12
+
+    @given(labels_pairs)
+    def test_symmetry(self, pair):
+        a, b = pair
+        ca, cb = Clustering(a), Clustering(b)
+        assert rand_index(ca, cb) == pytest.approx(rand_index(cb, ca))
+        assert adjusted_rand_index(ca, cb) == pytest.approx(adjusted_rand_index(cb, ca))
+
+
+class TestInformationMetrics:
+    def test_nmi_identical(self):
+        c = Clustering([0, 1, 1, 2, 2, 2])
+        assert normalized_mutual_information(c, c) == pytest.approx(1.0)
+
+    def test_nmi_independent(self):
+        a = Clustering([0, 0, 1, 1])
+        b = Clustering([0, 1, 0, 1])
+        assert normalized_mutual_information(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_vi_identical_zero(self):
+        c = Clustering([0, 1, 1, 2])
+        assert variation_of_information(c, c) == pytest.approx(0.0, abs=1e-12)
+
+    def test_vi_known_value(self):
+        a = Clustering([0, 0, 1, 1])
+        b = Clustering.single_cluster(4)
+        # VI(a, single) = H(a) = ln 2.
+        assert variation_of_information(a, b) == pytest.approx(np.log(2))
+
+    @given(labels_pairs)
+    def test_vi_symmetric_nonnegative(self, pair):
+        a, b = pair
+        ca, cb = Clustering(a), Clustering(b)
+        vi = variation_of_information(ca, cb)
+        assert vi >= 0.0
+        assert vi == pytest.approx(variation_of_information(cb, ca))
+
+    @given(labels_pairs, st.integers(0, 100))
+    def test_vi_triangle_inequality(self, pair, seed):
+        a, b = pair
+        c = np.random.default_rng(seed).integers(0, 4, size=len(a))
+        ca, cb, cc = Clustering(a), Clustering(b), Clustering(c)
+        assert variation_of_information(ca, cc) <= (
+            variation_of_information(ca, cb) + variation_of_information(cb, cc) + 1e-9
+        )
+
+    @given(labels_pairs)
+    def test_nmi_bounds(self, pair):
+        a, b = pair
+        value = normalized_mutual_information(Clustering(a), Clustering(b))
+        assert -1e-12 <= value <= 1.0 + 1e-12
+
+
+class TestSizeSummary:
+    def test_summary_fields(self):
+        c = Clustering([0, 0, 0, 1, 2])
+        summary = cluster_size_summary(c)
+        assert summary["clusters"] == 3
+        assert summary["largest"] == 3
+        assert summary["smallest"] == 1
+        assert summary["singletons"] == 2
+        assert summary["median"] == 1.0

@@ -1,0 +1,43 @@
+"""Tests for the Movies dataset generator (repro.datasets.movies)."""
+
+import numpy as np
+import pytest
+
+from repro import aggregate
+from repro.datasets import generate_movies
+from repro.metrics import classification_error
+
+
+class TestGenerateMovies:
+    def test_shape(self):
+        movies = generate_movies(n=200, n_scenes=4, n_outliers=5, rng=0)
+        assert movies.n == 200
+        assert movies.m == 5
+        assert movies.class_names[-1] == "outlier"
+        assert int((movies.classes == 4).sum()) == 5
+
+    def test_deterministic(self):
+        a = generate_movies(rng=3)
+        b = generate_movies(rng=3)
+        assert np.array_equal(a.data, b.data)
+
+    def test_value_names_cover_arities(self):
+        movies = generate_movies(rng=0)
+        for j, arity in enumerate(movies.arities()):
+            assert len(movies.value_names[j]) >= arity
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_movies(n=5, n_outliers=5)
+        with pytest.raises(ValueError):
+            generate_movies(n_scenes=1)
+
+    def test_scenes_recovered_and_outliers_isolated(self):
+        movies = generate_movies(n=400, n_scenes=6, n_outliers=8, rng=0)
+        result = aggregate(movies.label_matrix(), method="agglomerative")
+        sizes = result.clustering.sizes()
+        assert int((sizes >= 20).sum()) == 6  # the six scenes
+        assert classification_error(result.clustering, movies.classes) < 0.02
+        outliers = np.flatnonzero(movies.classes == 6)
+        small = np.isin(result.clustering.labels, np.flatnonzero(sizes <= 3))
+        assert small[outliers].all(), "every chimera should be isolated"

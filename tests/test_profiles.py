@@ -1,0 +1,77 @@
+"""Tests for cluster profiling (repro.metrics.profiles)."""
+
+import numpy as np
+import pytest
+
+from repro import Clustering
+from repro.datasets import CategoricalDataset, generate_census
+from repro.metrics import describe_clusters
+
+
+def toy_dataset():
+    # Two clear groups: group A all (0, 0), group B all (1, 1); attribute
+    # "c" is constant (never a distinctive trait).
+    data = np.array(
+        [[0, 0, 0]] * 5 + [[1, 1, 0]] * 5,
+        dtype=np.int32,
+    )
+    return CategoricalDataset(
+        name="toy",
+        data=data,
+        attribute_names=["a", "b", "c"],
+        value_names=[["a0", "a1"], ["b0", "b1"], ["c0"]],
+    )
+
+
+class TestDescribeClusters:
+    def test_traits_found(self):
+        dataset = toy_dataset()
+        clustering = Clustering([0] * 5 + [1] * 5)
+        profiles = describe_clusters(dataset, clustering)
+        assert len(profiles) == 2
+        first = profiles[0]
+        named = {(attribute, value) for attribute, value, _ in first.traits}
+        assert named <= {("a", "a0"), ("b", "b0"), ("a", "a1"), ("b", "b1")}
+        assert all(prevalence == 1.0 for _, _, prevalence in first.traits)
+
+    def test_constant_attribute_excluded(self):
+        dataset = toy_dataset()
+        clustering = Clustering([0] * 5 + [1] * 5)
+        profiles = describe_clusters(dataset, clustering)
+        for profile in profiles:
+            assert all(attribute != "c" for attribute, _, _ in profile.traits)
+
+    def test_min_size_skips_singletons(self):
+        dataset = toy_dataset()
+        clustering = Clustering([0] * 9 + [1])
+        profiles = describe_clusters(dataset, clustering, min_size=2)
+        assert len(profiles) == 1
+
+    def test_sorted_by_size(self):
+        census = generate_census(n=1500, rng=0)
+        clustering = Clustering(np.arange(1500) % 7)
+        profiles = describe_clusters(census, clustering)
+        sizes = [profile.size for profile in profiles]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_summary_renders(self):
+        dataset = toy_dataset()
+        clustering = Clustering([0] * 5 + [1] * 5)
+        text = describe_clusters(dataset, clustering)[0].summary()
+        assert "cluster" in text and "n=5" in text
+
+    def test_size_mismatch_rejected(self):
+        dataset = toy_dataset()
+        with pytest.raises(ValueError):
+            describe_clusters(dataset, Clustering([0, 1]))
+
+    def test_max_traits_cap(self):
+        census = generate_census(n=2000, rng=1)
+        from repro import aggregate
+
+        result = aggregate(
+            census.label_matrix(), method="sampling", sample_size=400, rng=0,
+            compute_lower_bound=False,
+        )
+        profiles = describe_clusters(census, result.clustering, max_traits=2)
+        assert all(len(profile.traits) <= 2 for profile in profiles)
