@@ -14,7 +14,6 @@ import time
 
 from repro import aggregate
 from repro.algorithms import agglomerative, sampling
-from repro.core.instance import CorrelationInstance
 from repro.datasets import generate_mushrooms
 from repro.experiments import banner, current_scale, render_table
 from repro.metrics import classification_error

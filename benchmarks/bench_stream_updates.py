@@ -1,0 +1,92 @@
+"""A8 — streaming aggregation: incremental update vs rebuild-from-scratch.
+
+The streaming engine folds each arriving clustering into the running
+separation counts (O(n²) vectorized), follows the affine X change on a
+persistent move evaluator in O(n·k), and warm-starts LOCALSEARCH from the
+previous consensus.  The baseline recomputes everything per arriving
+column: rebuild X from all columns seen so far, then cold-start
+LOCALSEARCH from singletons.  This bench replays the Votes generator's 16
+attribute columns at n >= 2000 and reports per-update wall-time for both,
+checking the incremental path is >= 5x faster once the stream is warm
+(after the third update) and that the final consensus quality matches.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.algorithms.local_search import local_search
+from repro.core.instance import CorrelationInstance
+from repro.datasets import generate_votes
+from repro.experiments import banner, current_scale, render_table
+from repro.stream import StreamingAggregator
+
+from conftest import once
+
+_ROWS = {"ci": 2000, "paper": 4000}
+
+
+def bench_stream_updates(benchmark, report):
+    scale = current_scale()
+    n = _ROWS[scale.name]
+    matrix = generate_votes(n=n, rng=0).label_matrix()
+    m = matrix.shape[1]
+
+    def run():
+        engine = StreamingAggregator(n)
+        incremental_seconds = []
+        for j in range(m):
+            start = time.perf_counter()
+            engine.observe(matrix[:, j])
+            incremental_seconds.append(time.perf_counter() - start)
+
+        rebuild_seconds = []
+        for j in range(m):
+            start = time.perf_counter()
+            instance = CorrelationInstance.from_label_matrix(matrix[:, : j + 1])
+            local_search(instance)
+            rebuild_seconds.append(time.perf_counter() - start)
+        return engine, incremental_seconds, rebuild_seconds
+
+    engine, incremental_seconds, rebuild_seconds = once(benchmark, run)
+
+    rows = []
+    speedups = []
+    for j, update in enumerate(engine.history):
+        speedup = rebuild_seconds[j] / incremental_seconds[j]
+        speedups.append(speedup)
+        rows.append(
+            (
+                update.index,
+                f"{1000 * incremental_seconds[j]:.1f}",
+                f"{1000 * rebuild_seconds[j]:.1f}",
+                f"{speedup:.1f}x",
+                update.moves,
+                update.k,
+            )
+        )
+
+    batch_instance = CorrelationInstance.from_label_matrix(matrix)
+    batch_cost = batch_instance.cost(local_search(batch_instance))
+    warm = speedups[3:]
+
+    text = render_table(
+        ("update", "incremental (ms)", "rebuild (ms)", "speedup", "moves", "k"),
+        rows,
+        title=banner(f"A8 — streaming updates vs rebuild (votes n={n}, {scale.describe()})"),
+    )
+    text += (
+        f"\n\nwarm speedup (updates 4..{m}): mean {np.mean(warm):.1f}x, min {min(warm):.1f}x"
+        f"\nfinal consensus cost: streaming {engine.cost():,.1f} vs batch {batch_cost:,.1f}"
+        f" (ratio {engine.cost() / batch_cost:.4f})"
+        "\n\nthe rebuild baseline pays O(j·n²) to rebuild X from the j columns"
+        "\nseen so far plus a cold LOCALSEARCH descent; the engine pays one"
+        "\nO(n²) count fold and a warm sweep, so the gap widens as the"
+        "\nstream grows."
+    )
+    report("stream_updates", text)
+
+    assert float(np.mean(warm)) >= 5.0, f"warm updates should be >= 5x faster, got {warm}"
+    assert engine.cost() <= batch_cost * 1.01, "streaming consensus must match batch quality"

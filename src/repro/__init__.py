@@ -34,6 +34,7 @@ from .core import (
     clustering_distance,
     total_disagreement,
 )
+from .stream import IncrementalCorrelationInstance, StreamingAggregator
 
 __version__ = "1.0.0"
 
@@ -41,6 +42,8 @@ __all__ = [
     "AggregationResult",
     "Clustering",
     "CorrelationInstance",
+    "IncrementalCorrelationInstance",
+    "StreamingAggregator",
     "aggregate",
     "available_methods",
     "clustering_distance",

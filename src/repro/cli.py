@@ -6,10 +6,18 @@ Subcommands
     Cluster a categorical CSV (every column an input clustering) with any
     of the paper's algorithms and print the consensus summary — plus the
     per-cluster breakdown against a class column when one is present.
+``stream``
+    Replay the CSV's attribute columns one at a time through the
+    streaming engine (:mod:`repro.stream`), printing per-update cost,
+    cluster count, moves, and wall-time; optionally checkpoint the final
+    engine state to ``.npz`` or resume from one.
 ``generate``
     Write one of the built-in datasets (votes, mushrooms, census) to CSV.
 ``methods``
     List the available aggregation algorithms.
+
+``--json`` (on ``aggregate`` and ``stream``) switches the report to a
+single machine-readable JSON object for service integration.
 
 Examples
 --------
@@ -19,17 +27,20 @@ Examples
     repro-aggregate aggregate /tmp/votes.csv --method agglomerative
     repro-aggregate aggregate /tmp/votes.csv --method balls --alpha 0.4
     repro-aggregate aggregate big.csv --method sampling --inner furthest --sample-size 1000
+    repro-aggregate stream /tmp/votes.csv --decay 0.99 --checkpoint /tmp/engine.npz
+    repro-aggregate aggregate /tmp/votes.csv --method local-search --seed 7 --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
 import numpy as np
 
-from .core.aggregate import aggregate, available_methods
+from .core.aggregate import STOCHASTIC_METHODS, aggregate, available_methods
 from .datasets import (
     CategoricalDataset,
     generate_census,
@@ -62,14 +73,51 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--alpha", type=float, default=None, help="BALLS acceptance threshold")
     run.add_argument("--inner", default="agglomerative", help="SAMPLING inner algorithm")
     run.add_argument("--sample-size", type=int, default=None, help="SAMPLING sample size")
-    run.add_argument("--seed", type=int, default=0, help="random seed (sampling)")
+    run.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="random seed, forwarded to every stochastic method "
+        f"({', '.join(STOCHASTIC_METHODS)})",
+    )
     run.add_argument("--p", type=float, default=0.5, help="missing-value coin-flip probability")
     run.add_argument(
         "--collapse",
         action="store_true",
         help="collapse duplicate rows into weighted atoms before clustering",
     )
+    run.add_argument("--json", action="store_true", help="emit a machine-readable JSON report")
     run.add_argument("--out", default=None, help="write consensus labels to this file")
+
+    stream = subparsers.add_parser(
+        "stream", help="replay a CSV column-by-column through the streaming engine"
+    )
+    stream.add_argument("csv", help="input CSV with a header row; '?' marks missing values")
+    stream.add_argument("--class-column", default="class", help="evaluation column name")
+    stream.add_argument("--no-class", action="store_true", help="treat every column as data")
+    stream.add_argument("--p", type=float, default=0.5, help="missing-value coin-flip probability")
+    stream.add_argument(
+        "--decay",
+        type=float,
+        default=1.0,
+        help="exponential decay per update in (0, 1]; 1.0 = exact batch semantics",
+    )
+    stream.add_argument(
+        "--sampling-threshold",
+        type=int,
+        default=5000,
+        help="above this many rows, refine with SAMPLING instead of full LOCALSEARCH",
+    )
+    stream.add_argument("--sample-size", type=int, default=None, help="SAMPLING sample size")
+    stream.add_argument("--seed", type=int, default=0, help="random seed for the engine")
+    stream.add_argument(
+        "--checkpoint", default=None, help="write the final engine state to this .npz file"
+    )
+    stream.add_argument(
+        "--resume", default=None, help="resume from an engine checkpoint (.npz) before replaying"
+    )
+    stream.add_argument("--json", action="store_true", help="emit a machine-readable JSON report")
+    stream.add_argument("--out", default=None, help="write consensus labels to this file")
 
     gen = subparsers.add_parser("generate", help="write a built-in dataset to CSV")
     gen.add_argument("dataset", choices=sorted(_GENERATORS))
@@ -89,10 +137,11 @@ def _command_aggregate(args: argparse.Namespace) -> int:
         params["alpha"] = args.alpha
     if args.method == "sampling":
         params["inner"] = args.inner
-        params["rng"] = args.seed
         if args.sample_size is not None:
             params["sample_size"] = args.sample_size
-    compute_lb = args.method not in ("sampling", "best")
+    if args.method in STOCHASTIC_METHODS:
+        params["rng"] = args.seed
+    compute_lb = args.method not in ("sampling", "best", "streaming")
     result = aggregate(
         dataset.label_matrix(),
         method=args.method,
@@ -101,6 +150,36 @@ def _command_aggregate(args: argparse.Namespace) -> int:
         collapse=args.collapse,
         **params,
     )
+
+    if args.json:
+        report = {
+            "dataset": {
+                "name": dataset.name,
+                "rows": dataset.n,
+                "attributes": dataset.m,
+                "missing": dataset.missing_count(),
+            },
+            "method": result.method,
+            "seed": args.seed if args.method in STOCHASTIC_METHODS else None,
+            "k": result.k,
+            "cluster_sizes": {
+                key: int(value) for key, value in cluster_size_summary(result.clustering).items()
+            },
+            "disagreements": result.disagreements,
+            "cost": result.cost,
+            "lower_bound": result.disagreement_lower_bound,
+            "class_error": (
+                None
+                if dataset.classes is None
+                else classification_error(result.clustering, dataset.classes)
+            ),
+            "elapsed_seconds": result.elapsed_seconds,
+            "build_seconds": result.build_seconds,
+        }
+        print(json.dumps(report))
+        if args.out:
+            np.savetxt(args.out, result.clustering.labels, fmt="%d")
+        return 0
 
     print(f"dataset          {dataset.name}: {dataset.n} rows x {dataset.m} attributes, "
           f"{dataset.missing_count()} missing")
@@ -133,6 +212,102 @@ def _command_aggregate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stream(args: argparse.Namespace) -> int:
+    from .stream import StreamingAggregator, load_checkpoint, save_checkpoint
+
+    class_column = None if args.no_class else args.class_column
+    dataset = CategoricalDataset.from_csv(args.csv, class_column=class_column)
+    matrix = dataset.label_matrix()
+    if args.resume:
+        engine = load_checkpoint(args.resume)
+        if engine.n != matrix.shape[0]:
+            print(
+                f"error: checkpoint covers {engine.n} objects but the CSV has "
+                f"{matrix.shape[0]} rows",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        engine = StreamingAggregator(
+            matrix.shape[0],
+            p=args.p,
+            decay=args.decay,
+            sampling_threshold=args.sampling_threshold,
+            sample_size=args.sample_size,
+            rng=args.seed,
+        )
+
+    if not args.json:
+        print(f"dataset          {dataset.name}: {dataset.n} rows x {dataset.m} attributes, "
+              f"{dataset.missing_count()} missing")
+        if args.resume:
+            print(f"resumed          {args.resume} ({engine.count} updates already applied)")
+        print("update  D(C)          k      moves  sweeps  time")
+    updates = []
+    for j in range(matrix.shape[1]):
+        update = engine.observe(matrix[:, j])
+        updates.append(update)
+        if not args.json:
+            seconds = update.observe_seconds + update.refine_seconds
+            mode = "  (sampling)" if update.used_sampling else ""
+            print(f"{update.index:6d}  {update.disagreements:12,.1f}  {update.k:5d}  "
+                  f"{update.moves:5d}  {update.sweeps:6d}  {seconds:.3f}s{mode}")
+
+    stats = engine.stats()
+    class_error = (
+        None
+        if dataset.classes is None
+        else classification_error(engine.consensus, dataset.classes)
+    )
+    if args.json:
+        report = {
+            "dataset": {
+                "name": dataset.name,
+                "rows": dataset.n,
+                "attributes": dataset.m,
+                "missing": dataset.missing_count(),
+            },
+            "seed": args.seed,
+            "decay": args.decay,
+            "resumed_from": args.resume,
+            "updates": [
+                {
+                    "index": update.index,
+                    "disagreements": update.disagreements,
+                    "cost": update.cost,
+                    "k": update.k,
+                    "moves": update.moves,
+                    "sweeps": update.sweeps,
+                    "used_sampling": update.used_sampling,
+                    "observe_seconds": update.observe_seconds,
+                    "refine_seconds": update.refine_seconds,
+                }
+                for update in updates
+            ],
+            "k": engine.consensus.k,
+            "disagreements": engine.disagreements(),
+            "cost": engine.cost(),
+            "class_error": class_error,
+            "total_moves": stats.total_moves,
+        }
+        print(json.dumps(report))
+    else:
+        print(f"consensus        k={engine.consensus.k}  D(C) = {engine.disagreements():,.1f}")
+        if class_error is not None:
+            print(f"class error      E_C = {class_error * 100:.1f}%")
+        print(f"engine           {stats.summary()}")
+
+    if args.checkpoint:
+        save_checkpoint(engine, args.checkpoint)
+        if not args.json:
+            print(f"checkpoint       {args.checkpoint}")
+    if args.out:
+        np.savetxt(args.out, engine.consensus.labels, fmt="%d")
+        if not args.json:
+            print(f"labels written   {args.out}")
+    return 0
+
+
 def _command_generate(args: argparse.Namespace) -> int:
     generator = _GENERATORS[args.dataset]
     dataset = generator(n=args.rows, rng=args.seed)
@@ -146,6 +321,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "aggregate":
         return _command_aggregate(args)
+    if args.command == "stream":
+        return _command_stream(args)
     if args.command == "generate":
         return _command_generate(args)
     if args.command == "methods":

@@ -1,9 +1,9 @@
 """Core framework: partitions, distances, correlation instances, aggregation API."""
 
-from .aggregate import AggregationResult, aggregate, available_methods
+from .aggregate import STOCHASTIC_METHODS, AggregationResult, aggregate, available_methods
 from .atoms import AtomCollapse, collapse_duplicates
 from .distance import clustering_distance, normalized_distance, total_disagreement
-from .instance import CorrelationInstance, disagreement_fractions
+from .instance import CorrelationInstance, disagreement_fractions, pair_separation_block
 from .labels import MISSING, as_label_matrix, columns_as_clusterings, contingency_table
 from .objective import ClusterCountTables, MoveEvaluator
 from .partition import Clustering
@@ -12,6 +12,7 @@ __all__ = [
     "AggregationResult",
     "aggregate",
     "available_methods",
+    "STOCHASTIC_METHODS",
     "AtomCollapse",
     "collapse_duplicates",
     "clustering_distance",
@@ -19,6 +20,7 @@ __all__ = [
     "total_disagreement",
     "CorrelationInstance",
     "disagreement_fractions",
+    "pair_separation_block",
     "MISSING",
     "as_label_matrix",
     "columns_as_clusterings",

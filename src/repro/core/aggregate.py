@@ -37,12 +37,19 @@ from ..algorithms.exact import exact_optimum
 from ..algorithms.furthest import furthest
 from ..algorithms.local_search import local_search
 from ..algorithms.sampling import sampling
+from ..consensus.genetic import genetic_consensus
 from .distance import total_disagreement
 from .instance import CorrelationInstance
 from .labels import as_label_matrix, validate_label_matrix
 from .partition import Clustering
 
-__all__ = ["aggregate", "AggregationResult", "available_methods", "resolve_inner"]
+__all__ = [
+    "aggregate",
+    "AggregationResult",
+    "available_methods",
+    "resolve_inner",
+    "STOCHASTIC_METHODS",
+]
 
 #: Algorithms that consume a CorrelationInstance and return a Clustering.
 _INSTANCE_METHODS: dict[str, Callable[..., Clustering]] = {
@@ -51,11 +58,15 @@ _INSTANCE_METHODS: dict[str, Callable[..., Clustering]] = {
     "furthest": furthest,
     "local-search": local_search,
     "annealing": simulated_annealing,
+    "genetic": genetic_consensus,
     "exact": lambda instance, **kw: exact_optimum(instance, **kw)[0],
 }
 
 #: Algorithms that consume the label matrix directly.
-_MATRIX_METHODS = ("best", "sampling")
+_MATRIX_METHODS = ("best", "sampling", "streaming")
+
+#: Methods whose output depends on an ``rng`` seed (CLI ``--seed`` plumbing).
+STOCHASTIC_METHODS = ("annealing", "genetic", "local-search", "sampling", "streaming")
 
 
 def available_methods() -> tuple[str, ...]:
@@ -146,7 +157,10 @@ def aggregate(
         One of :func:`available_methods`: ``"best"``, ``"balls"``,
         ``"agglomerative"``, ``"furthest"``, ``"local-search"``,
         ``"annealing"`` (Filkov-Skiena simulated annealing, §6),
-        ``"sampling"``, or ``"exact"``.
+        ``"genetic"`` (Cristofor-Simovici GA, §6), ``"sampling"``,
+        ``"streaming"`` (replay the columns through a
+        :class:`~repro.stream.engine.StreamingAggregator`), or
+        ``"exact"``.
     p:
         Missing-value coin-flip probability (Section 2 of the paper).
     compute_lower_bound:
@@ -180,7 +194,7 @@ def aggregate(
     atoms = None
     build_start = time.perf_counter()
     if collapse:
-        if matrix is None or method == "best":
+        if matrix is None or method in ("best", "streaming"):
             raise ValueError(
                 "collapse=True needs a label matrix and is not meaningful for "
                 f"method {method!r}"
@@ -217,6 +231,14 @@ def aggregate(
         else:
             data = matrix if matrix is not None else instance
             clustering = sampling(data, inner, p=p, **params)
+    elif method == "streaming":
+        if matrix is None:
+            raise ValueError("method 'streaming' needs the input clusterings, not a raw instance")
+        from ..stream.engine import StreamingAggregator
+
+        engine = StreamingAggregator(matrix.shape[0], p=p, **params)
+        engine.observe_many(matrix)
+        clustering = engine.consensus
     else:
         raise ValueError(f"unknown method {method!r}; choose from {available_methods()}")
     elapsed = time.perf_counter() - start

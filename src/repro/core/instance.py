@@ -28,10 +28,50 @@ import numpy as np
 from .labels import MISSING, as_label_matrix, validate_label_matrix
 from .partition import Clustering
 
-__all__ = ["CorrelationInstance", "disagreement_fractions"]
+__all__ = ["CorrelationInstance", "disagreement_fractions", "pair_separation_block"]
 
 #: Row-block size for the blocked construction of the X matrix.
 _BLOCK_ROWS = 2048
+
+
+def pair_separation_block(
+    column: np.ndarray,
+    start: int,
+    stop: int,
+    p: float = 0.5,
+    dtype: np.dtype | type = np.float64,
+    missing: str = "coin-flip",
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """One clustering's separation contribution for a block of rows.
+
+    For the label ``column`` of a single input clustering, computes the
+    ``(stop - start, n)`` block of per-pair separation terms that the
+    clustering contributes to the ``X`` matrix:
+
+    * ``missing="coin-flip"``: ``1`` where the labels differ, ``0`` where
+      they agree, ``1 - p`` where either label is missing; returns
+      ``(separation, None)``.
+    * ``missing="average"``: ``1`` only where both labels are concrete and
+      differ; returns ``(separation, comparable)`` with ``comparable`` a
+      0/1 mask of the pairs concrete on both sides.
+
+    This is the shared kernel of the batch :func:`disagreement_fractions`
+    build and the incremental accumulation in
+    :class:`repro.stream.IncrementalCorrelationInstance`: both sum these
+    blocks over the input clusterings and normalize.  The diagonal is NOT
+    zeroed here — callers zero it once on the finished ``X``.
+    """
+    np_dtype = dtype if isinstance(dtype, np.dtype) else np.dtype(dtype)
+    one_minus_p = np_dtype.type(1.0 - p)
+    row_part = column[start:stop]
+    missing_rows = row_part == MISSING
+    missing_cols = column == MISSING
+    different = row_part[:, None] != column[None, :]
+    missing_pair = missing_rows[:, None] | missing_cols[None, :]
+    if missing == "coin-flip":
+        return np.where(missing_pair, one_minus_p, different.astype(dtype)), None
+    both_present = ~missing_pair
+    return (different & both_present).astype(dtype), both_present.astype(dtype)
 
 
 def disagreement_fractions(
@@ -68,24 +108,17 @@ def disagreement_fractions(
         dtype = np.float64 if n <= 4096 else np.float32
     X = np.zeros((n, n), dtype=dtype)
     np_dtype = dtype if isinstance(dtype, np.dtype) else np.dtype(dtype)
-    one_minus_p = np_dtype.type(1.0 - p)
     for start in range(0, n, _BLOCK_ROWS):
         stop = min(start + _BLOCK_ROWS, n)
         block = np.zeros((stop - start, n), dtype=dtype)
         comparable = np.zeros((stop - start, n), dtype=dtype) if missing == "average" else None
         for j in range(m):
-            column = matrix[:, j]
-            row_part = column[start:stop]
-            missing_rows = row_part == MISSING
-            missing_cols = column == MISSING
-            different = row_part[:, None] != column[None, :]
-            missing_pair = missing_rows[:, None] | missing_cols[None, :]
-            if missing == "coin-flip":
-                block += np.where(missing_pair, one_minus_p, different.astype(dtype))
-            else:
-                both_present = ~missing_pair
-                block += (different & both_present).astype(dtype)
-                comparable += both_present.astype(dtype)
+            separation, both_present = pair_separation_block(
+                matrix[:, j], start, stop, p=p, dtype=dtype, missing=missing
+            )
+            block += separation
+            if both_present is not None:
+                comparable += both_present
         if missing == "coin-flip":
             block /= m
         else:

@@ -56,11 +56,19 @@ class MoveEvaluator:
         self._sizes = np.zeros(k, dtype=np.float64)
         np.add.at(self._sizes, self._labels, self._node_weights)
         self._mass = np.zeros((n, k), dtype=np.float64)
-        weighted_X = self._X * self._node_weights[None, :]
-        for slot in range(k):
-            members = np.flatnonzero(self._labels == slot)
-            if members.size:
-                self._mass[:, slot] = weighted_X[:, members].sum(axis=1)
+        if instance.weights is None:
+            weighted_X = self._X
+        else:
+            weighted_X = self._X * self._node_weights[None, :]
+        if k == n and np.array_equal(self._labels, np.arange(n)):
+            # All singletons in index order (the cold-start clustering):
+            # M(v, {u}) = w_u · X[v, u], i.e. the mass matrix IS weighted_X.
+            np.copyto(self._mass, weighted_X)
+        else:
+            for slot in range(k):
+                members = np.flatnonzero(self._labels == slot)
+                if members.size:
+                    self._mass[:, slot] = weighted_X[:, members].sum(axis=1)
         self._free_slots = [slot for slot in range(k) if self._sizes[slot] == 0]
 
     # ------------------------------------------------------------------
@@ -92,6 +100,57 @@ class MoveEvaluator:
         """Correlation cost of the current partition (recomputed from scratch)."""
         return self._instance.cost(self.clustering())
 
+    def total_cost_fast(self) -> float:
+        """Cost of the current partition read off the maintained masses.
+
+        ``d(C) = T - S_all + Σ_v M(v, own) - P_within`` — O(n) work beyond
+        one pass to sum X, since the within-cluster distance sum is half of
+        ``Σ_v M(v, own cluster)``.  Equals :meth:`total_cost` up to float
+        rounding (the masses are maintained incrementally).  Weighted
+        instances fall back to the from-scratch computation; requires
+        every object attached.
+        """
+        if self._instance.weights is not None:
+            return self.total_cost()
+        if np.any(self._labels < 0):
+            raise RuntimeError("cannot evaluate the cost while an object is detached")
+        n = self.n
+        total_pairs = n * (n - 1) / 2.0
+        sum_all = float(self._X.sum(dtype=np.float64)) / 2.0
+        within_mass = float(self._mass[np.arange(n), self._labels].sum(dtype=np.float64))
+        sizes = self._sizes
+        pairs_within = float((sizes * (sizes - 1.0)).sum()) / 2.0
+        return total_pairs - sum_all + within_mass - pairs_within
+
+    def compact(self) -> None:
+        """Renumber clusters to ``0..k-1`` by first appearance; shrink state.
+
+        Slot ids are stable across moves, so a long-lived evaluator (the
+        streaming engine keeps one across updates) can end up with a mass
+        matrix far wider than its active cluster count — e.g. ``n`` slots
+        after a cold start from singletons — making every O(n·k) operation
+        silently O(n²).  Compaction uses :class:`Clustering`'s canonical
+        first-appearance numbering, so a compacted evaluator is
+        slot-for-slot identical (tie-breaking included) to one freshly
+        built from the exported clustering.  Requires every object
+        attached.
+        """
+        if np.any(self._labels < 0):
+            raise RuntimeError("cannot compact while an object is detached")
+        old_slots, first_index, inverse = np.unique(
+            self._labels, return_index=True, return_inverse=True
+        )
+        order = np.argsort(np.argsort(first_index))
+        k = old_slots.size
+        sizes = np.empty(k, dtype=np.float64)
+        sizes[order] = self._sizes[old_slots]
+        mass = np.empty((self.n, k), dtype=np.float64)
+        mass[:, order] = self._mass[:, old_slots]
+        self._labels = order[inverse].astype(np.int64)
+        self._sizes = sizes
+        self._mass = mass
+        self._free_slots = []
+
     # ------------------------------------------------------------------
     # Moves
     # ------------------------------------------------------------------
@@ -104,7 +163,8 @@ class MoveEvaluator:
         weight = self._node_weights[v]
         self._labels[v] = -1
         self._sizes[slot] -= weight
-        self._mass[:, slot] -= weight * self._X[:, v]
+        # X is symmetric, so the contiguous row stands in for the strided column.
+        self._mass[:, slot] -= weight * self._X[v]
         if self._sizes[slot] <= 1e-9:
             self._sizes[slot] = 0.0
             self._mass[:, slot] = 0.0
@@ -120,7 +180,7 @@ class MoveEvaluator:
         weight = self._node_weights[v]
         self._labels[v] = slot
         self._sizes[slot] += weight
-        self._mass[:, slot] += weight * self._X[:, v]
+        self._mass[:, slot] += weight * self._X[v]
 
     def attach_singleton(self, v: int) -> int:
         """Open a new singleton cluster for detached ``v``; returns its slot."""
@@ -139,7 +199,7 @@ class MoveEvaluator:
         weight = self._node_weights[v]
         self._labels[v] = slot
         self._sizes[slot] = weight
-        self._mass[:, slot] = weight * self._X[:, v]
+        self._mass[:, slot] = weight * self._X[v]
         return slot
 
     # ------------------------------------------------------------------
@@ -204,6 +264,118 @@ class MoveEvaluator:
             return not origin_was_singleton
         self.attach(v, slot)
         return slot != origin
+
+    def candidate_movers(self, eps: float = 0.0) -> np.ndarray:
+        """Indices of attached nodes whose best move currently improves.
+
+        One vectorized O(n·k) scan with the *current* masses: a node is a
+        candidate when some other cluster (or a fresh singleton) scores
+        strictly below staying put.  Scores go stale as moves are applied,
+        so callers re-verify each candidate with :meth:`relocate_if_better`
+        — the scan only prunes the sweep from O(n) relocation attempts to
+        the handful of plausible movers.  Requires every object attached.
+        """
+        if np.any(self._labels < 0):
+            raise RuntimeError("candidate scan requires every object attached")
+        slots = self.active_slots()
+        weights = self._node_weights
+        scores = weights[:, None] * (2.0 * self._mass[:, slots] - self._sizes[slots])
+        # Column position of each node's own cluster within the slot list.
+        position = np.empty(self._sizes.size, dtype=np.int64)
+        position[slots] = np.arange(slots.size)
+        own_pos = position[self._labels]
+        rows = np.arange(self.n)
+        stay = scores[rows, own_pos] + weights * weights
+        scores[rows, own_pos] = np.inf
+        best_other = scores.min(axis=1) if slots.size > 1 else np.full(self.n, np.inf)
+        alone = self._sizes[self._labels] == weights
+        singleton = np.where(alone, np.inf, 0.0)
+        return np.flatnonzero(np.minimum(best_other, singleton) < stay - eps)
+
+    def relocate_if_better(self, v: int, eps: float = 0.0) -> bool:
+        """Move attached ``v`` to its best destination only if it strictly wins.
+
+        Evaluates every candidate *without* detaching: since ``X[v, v] = 0``
+        the masses ``M(v, ·)`` are unchanged by removing ``v``, so the score
+        of staying put is ``w·(2·M(v, own) - (|own| - w))`` — the usual
+        formula with the origin shrunk by ``v``'s own weight — while every
+        other cluster scores the standard ``w·(2·M(v, C_i) - |C_i|)``.  A
+        node that stays costs O(k) instead of the O(n) detach/attach pair,
+        which makes warm-started LOCALSEARCH sweeps (few movers) linear in
+        practice.  Returns True iff ``v`` moved; decisions are identical to
+        the detach/score/re-attach sequence.
+        """
+        own = int(self._labels[v])
+        if own < 0:
+            raise RuntimeError(f"object {v} must be attached to relocate in place")
+        weight = float(self._node_weights[v])
+        slots = self.active_slots()
+        scores = weight * (2.0 * self._mass[v, slots] - self._sizes[slots])
+        own_pos = int(np.searchsorted(slots, own))  # active_slots() is sorted
+        stay_score = float(scores[own_pos]) + weight * weight
+        alone = self._sizes[own] == self._node_weights[v]
+        # A fresh singleton scores 0 — but for a node already alone it is the
+        # same partition as staying, not a move.
+        best_slot, best_score = (own, stay_score) if alone else (-1, 0.0)
+        scores[own_pos] = np.inf
+        if slots.size > 1:
+            pos = int(np.argmin(scores))
+            if scores[pos] < best_score:
+                best_slot, best_score = int(slots[pos]), float(scores[pos])
+        if best_score >= stay_score - eps:
+            return False
+        self.detach(v)
+        if best_slot == -1:
+            self.attach_singleton(v)
+        else:
+            self.attach(v, best_slot)
+        return True
+
+    def apply_stream_update(
+        self, column: np.ndarray, p: float, scale: float, factor: float
+    ) -> None:
+        """Follow a streaming coin-flip update of ``X`` without a rebuild.
+
+        The streaming engine updates its distance matrix affinely:
+        ``X ← scale·X + factor·sep(column)`` with ``sep`` the §2 coin-flip
+        separation terms of one arriving clustering.  Masses are linear in
+        ``X``, so they follow as ``M ← scale·M + factor·contrib`` where
+        ``contrib[v, c] = Σ_{u∈c} sep(column; v, u)`` comes from per-cluster
+        label counts in O(n·k) — no O(n²·k) mass rebuild.  The caller must
+        have refreshed the evaluator's (aliased) ``X`` buffer already.
+        Requires unit node weights, every object attached, and the
+        coin-flip missing model (the "average" model's per-pair
+        denominators make the X update non-affine).
+        """
+        if self._instance.weights is not None:
+            raise RuntimeError("streaming mass updates require unit node weights")
+        if np.any(self._labels < 0):
+            raise RuntimeError("streaming mass updates require every object attached")
+        labels = self._labels
+        k = self._sizes.size
+        present = column != MISSING
+        one_minus_p = 1.0 - p
+        sizes = np.bincount(labels, minlength=k).astype(np.float64)
+        contrib = np.empty((self.n, k), dtype=np.float64)
+        if present.any():
+            values = column[present]
+            arity = int(values.max()) + 1
+            counts = np.zeros((k, arity), dtype=np.float64)
+            np.add.at(counts, (labels[present], values), 1.0)
+            concrete = counts.sum(axis=1)
+            # Concrete v vs cluster c: one per concretely-differing member,
+            # a coin flip per member missing at this clustering.
+            contrib[present] = (concrete[None, :] - counts[:, values].T) + one_minus_p * (
+                sizes - concrete
+            )[None, :]
+        contrib[~present] = one_minus_p * sizes
+        # X's diagonal is pinned to 0, so v contributes nothing to its own
+        # cluster's mass; the concrete case already counts sep(v, v) = 0,
+        # but a missing v must not pay the coin flip against itself.
+        missing_rows = np.flatnonzero(~present)
+        contrib[missing_rows, labels[missing_rows]] -= one_minus_p
+        self._mass *= scale
+        self._mass += factor * contrib
 
 
 class ClusterCountTables:

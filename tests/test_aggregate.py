@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import Clustering, aggregate, available_methods
-from repro.core import CorrelationInstance
 from repro.core.aggregate import resolve_inner
 from repro.core.labels import MISSING, as_label_matrix
 
@@ -18,7 +17,9 @@ ALL_METHODS = (
     "furthest",
     "local-search",
     "annealing",
+    "genetic",
     "sampling",
+    "streaming",
     "exact",
 )
 

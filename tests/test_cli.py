@@ -1,5 +1,7 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -91,3 +93,73 @@ class TestCli:
     def test_collapse_flag(self, votes_csv, capsys):
         assert main(["aggregate", votes_csv, "--collapse"]) == 0
         assert "clusters" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("method", ("local-search", "annealing", "sampling"))
+    def test_seed_plumbed_to_stochastic_methods(self, votes_csv, capsys, method):
+        """--seed reaches every stochastic method and makes reruns identical."""
+        outputs = []
+        for _ in range(2):
+            assert main(["aggregate", votes_csv, "--method", method, "--seed", "5", "--json"]) == 0
+            outputs.append(json.loads(capsys.readouterr().out))
+        assert outputs[0]["seed"] == 5
+        assert outputs[0]["disagreements"] == outputs[1]["disagreements"]
+
+    def test_genetic_method_available(self, votes_csv, capsys):
+        code = main(["aggregate", votes_csv, "--method", "genetic", "--seed", "1", "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["method"] == "genetic"
+
+    def test_aggregate_json_report(self, votes_csv, capsys):
+        assert main(["aggregate", votes_csv, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["dataset"]["rows"] == 120
+        assert report["k"] >= 1
+        assert report["disagreements"] > 0
+        assert 0.0 <= report["class_error"] <= 1.0
+        assert report["seed"] is None  # agglomerative is deterministic
+
+
+class TestStreamCli:
+    def test_stream_replays_and_reports(self, votes_csv, capsys):
+        assert main(["stream", votes_csv]) == 0
+        out = capsys.readouterr().out
+        assert "update" in out
+        assert "consensus" in out
+        assert "E_C" in out
+
+    def test_stream_json(self, votes_csv, capsys):
+        assert main(["stream", votes_csv, "--json", "--seed", "3"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["updates"]) == 16  # one per votes attribute
+        assert report["updates"][0]["index"] == 1
+        assert report["disagreements"] == report["updates"][-1]["disagreements"]
+        assert report["seed"] == 3
+
+    def test_stream_checkpoint_and_resume(self, votes_csv, tmp_path, capsys):
+        checkpoint = str(tmp_path / "engine.npz")
+        assert main(["stream", votes_csv, "--checkpoint", checkpoint, "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["stream", votes_csv, "--resume", checkpoint, "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["resumed_from"] == checkpoint
+        assert second["updates"][0]["index"] == first["updates"][-1]["index"] + 1
+
+    def test_stream_resume_size_mismatch(self, votes_csv, tmp_path, capsys):
+        checkpoint = str(tmp_path / "engine.npz")
+        assert main(["stream", votes_csv, "--checkpoint", checkpoint]) == 0
+        other = str(tmp_path / "other.csv")
+        generate_votes(n=60, rng=1).to_csv(other)
+        assert main(["stream", other, "--resume", checkpoint]) == 2
+        assert "checkpoint covers" in capsys.readouterr().err
+
+    def test_stream_decay_and_labels_out(self, votes_csv, tmp_path, capsys):
+        out_path = tmp_path / "labels.txt"
+        assert main(["stream", votes_csv, "--decay", "0.95", "--out", str(out_path)]) == 0
+        labels = np.loadtxt(out_path, dtype=int)
+        assert labels.shape == (120,)
+
+    def test_stream_sampling_threshold(self, votes_csv, capsys):
+        assert main(["stream", votes_csv, "--sampling-threshold", "50", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert all(update["used_sampling"] for update in report["updates"])
