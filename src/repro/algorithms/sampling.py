@@ -172,7 +172,7 @@ def sampling(
             for start in range(0, rest.size, _ASSIGN_BLOCK):
                 block = rest[start : start + _ASSIGN_BLOCK]
                 rows = X[np.ix_(block, sample)].astype(np.float64)
-                mass = np.zeros((block.size, sample_clustering.k))
+                mass = np.zeros((block.size, sample_clustering.k), dtype=np.float64)
                 for cluster, members in enumerate(sample_clustering.clusters()):
                     mass[:, cluster] = rows[:, members].sum(axis=1)
                 scores = 2.0 * mass - sizes[None, :]

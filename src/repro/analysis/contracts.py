@@ -1,0 +1,206 @@
+"""Debug-mode runtime contracts for the aggregation core.
+
+The paper states invariants the code otherwise only honours by
+convention: a correlation instance is a symmetric matrix in ``[0, 1]``
+with zero diagonal that — when built from clusterings under the §2
+coin-flip model — satisfies the triangle inequality (Gionis et al., §3);
+:class:`~repro.core.partition.Clustering` labels are dense, canonical and
+immutable; and the streaming engine's incrementally-maintained masses
+must not drift from the batch objective.  This module turns those
+statements into *runtime contracts*: cheap validation hooks compiled into
+the hot constructors but executed only when contracts are enabled.
+
+Enabling
+--------
+
+* Environment: set ``REPRO_CONTRACTS=1`` before importing (the pytest
+  suite's CI job runs this way).
+* Programmatic: :func:`enable_contracts` / :func:`disable_contracts`, or
+  the :func:`contracts` context manager for a scoped toggle.
+* Tests: an autouse fixture in ``tests/conftest.py`` enables contracts
+  for every test (opt out with ``@pytest.mark.no_contracts``).
+
+Violations raise :class:`ContractViolation` (an ``AssertionError``
+subclass: contract failures are programming errors, not input errors —
+input validation raises ``ValueError`` as usual).
+
+Costs are bounded: matrix checks are O(n²) vectorized (comparable to the
+operation they guard), and the O(n³)-ish triangle-inequality sweep only
+runs up to :data:`TRIANGLE_MAX_N` objects.
+
+This module deliberately imports nothing from the rest of the library so
+that core modules can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "ContractViolation",
+    "contracts_enabled",
+    "enable_contracts",
+    "disable_contracts",
+    "contracts",
+    "check_distance_matrix",
+    "check_canonical_labels",
+    "check_stream_drift",
+    "TRIANGLE_MAX_N",
+]
+
+#: Largest instance on which the exhaustive triangle-inequality sweep runs.
+TRIANGLE_MAX_N = 128
+
+#: Absolute slack for float comparisons (float32 instances round at ~1e-7).
+_ATOL = 1e-6
+
+
+class ContractViolation(AssertionError):
+    """An internal invariant the paper (or the design) guarantees was broken."""
+
+
+_enabled = os.environ.get("REPRO_CONTRACTS", "").strip().lower() not in (
+    "",
+    "0",
+    "false",
+    "off",
+    "no",
+)
+
+
+def contracts_enabled() -> bool:
+    """Whether runtime contracts are currently active."""
+    return _enabled
+
+
+def enable_contracts() -> None:
+    """Turn runtime contracts on for the process."""
+    global _enabled
+    _enabled = True
+
+
+def disable_contracts() -> None:
+    """Turn runtime contracts off for the process."""
+    global _enabled
+    _enabled = False
+
+
+@contextmanager
+def contracts(enabled: bool = True) -> Iterator[None]:
+    """Scoped toggle: ``with contracts(): ...`` restores the prior state."""
+    global _enabled
+    previous = _enabled
+    _enabled = enabled
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+def _fail(message: str, context: str) -> None:
+    raise ContractViolation(f"{context}: {message}" if context else message)
+
+
+def max_triangle_violation(X: np.ndarray) -> float:
+    """Largest ``X[u, w] - X[u, v] - X[v, w]`` over all triples (≤ 0 = metric)."""
+    dense = np.asarray(X, dtype=np.float64)
+    n = dense.shape[0]
+    worst = -np.inf
+    for v in range(n):
+        through_v = dense - dense[:, v][:, None] - dense[v, :][None, :]
+        np.fill_diagonal(through_v, -np.inf)
+        through_v[v, :] = -np.inf
+        through_v[:, v] = -np.inf
+        worst = max(worst, float(through_v.max()))
+    return worst
+
+
+def check_distance_matrix(
+    X: np.ndarray,
+    check_triangle: bool = False,
+    context: str = "CorrelationInstance",
+) -> None:
+    """Contract: a correlation-instance distance matrix is well formed.
+
+    Checks squareness, floating dtype, zero diagonal, symmetry, and the
+    ``[0, 1]`` range; with ``check_triangle=True`` (only meaningful for
+    instances built from clusterings under the coin-flip model) also the
+    §3 triangle inequality, on instances up to :data:`TRIANGLE_MAX_N`
+    objects.
+    """
+    matrix = np.asarray(X)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        _fail(f"distance matrix must be square, got shape {matrix.shape}", context)
+    if not np.issubdtype(matrix.dtype, np.floating):
+        _fail(f"distances must be floating point, got {matrix.dtype}", context)
+    diagonal = np.diagonal(matrix)
+    if np.any(diagonal != 0):
+        _fail("distance matrix must have a zero diagonal", context)
+    if not np.allclose(matrix, matrix.T, atol=_ATOL):
+        _fail("distance matrix must be symmetric", context)
+    low = float(matrix.min())
+    high = float(matrix.max())
+    if low < -_ATOL or high > 1.0 + _ATOL:
+        _fail(f"distances must lie in [0, 1], found range [{low}, {high}]", context)
+    if check_triangle and matrix.shape[0] <= TRIANGLE_MAX_N:
+        worst = max_triangle_violation(matrix)
+        if worst > _ATOL:
+            _fail(
+                f"triangle inequality violated by {worst} (aggregation instances "
+                "are metric — §3, Observation 1)",
+                context,
+            )
+
+
+def check_canonical_labels(labels: np.ndarray, context: str = "Clustering") -> None:
+    """Contract: a label vector is dense and canonical.
+
+    Canonical means values are exactly ``0..k-1``, every label occurs,
+    and labels are numbered in order of first appearance (object 0 is in
+    cluster 0, the first object outside cluster 0 is in cluster 1, ...).
+    This is the postcondition of ``Clustering.__init__`` that every
+    equality/hash comparison in the library relies on.
+    """
+    arr = np.asarray(labels)
+    if arr.ndim != 1 or arr.size == 0:
+        _fail(f"labels must be a non-empty vector, got shape {arr.shape}", context)
+    if not np.issubdtype(arr.dtype, np.integer):
+        _fail(f"labels must be integers, got dtype {arr.dtype}", context)
+    if int(arr.min()) < 0:
+        _fail("labels must be non-negative", context)
+    k = int(arr.max()) + 1
+    values, first_index = np.unique(arr, return_index=True)
+    if values.size != k:
+        missing = sorted(set(range(k)) - set(values.tolist()))[:5]
+        _fail(f"labels must be dense 0..k-1; e.g. missing {missing}", context)
+    if np.any(np.diff(first_index) < 0):
+        _fail("labels must be canonical (numbered by first appearance)", context)
+
+
+def check_stream_drift(
+    fast_cost: float,
+    exact_cost: float,
+    pairs: float,
+    context: str = "StreamingAggregator",
+) -> None:
+    """Contract: incrementally-maintained cost tracks the batch recomputation.
+
+    The streaming engine reads the consensus cost off masses it maintains
+    affinely across updates; ``exact_cost`` is the same objective
+    recomputed from scratch on the current instance.  The two may differ
+    only by accumulated float rounding, which the engine's periodic
+    resync bounds — a gap beyond ``~1e-8`` per pair means the mass
+    update logic (not float noise) has diverged.
+    """
+    tolerance = 1e-8 * max(1.0, pairs) + 1e-9 * abs(exact_cost)
+    drift = abs(fast_cost - exact_cost)
+    if drift > tolerance:
+        _fail(
+            f"incremental cost {fast_cost!r} drifted from batch cost {exact_cost!r} "
+            f"by {drift} (tolerance {tolerance})",
+            context,
+        )

@@ -1,0 +1,566 @@
+"""repolint — AST lint rules enforcing this repository's correctness invariants.
+
+The reproduction's guarantees rest on conventions that plain Python never
+checks: stochastic code must thread an explicit ``numpy.random.Generator``
+(seed-determinism), hot paths must stay vectorized (the paper's §4
+algorithms are only competitive through the blocked kernels), kernel
+allocations must pin their dtype (float32/float64 splits are part of the
+memory model), and :class:`~repro.core.partition.Clustering` labels are
+immutable.  ``repolint`` turns those conventions into machine-checked
+rules over the stdlib :mod:`ast` — no third-party dependencies.
+
+Rules
+-----
+
+=======  ==============================================================
+RPR001   No global-state RNG: module-level ``np.random.<fn>()`` and
+         stdlib ``random.<fn>()`` calls are banned everywhere —
+         randomness must flow through a threaded
+         ``numpy.random.Generator`` (``np.random.default_rng`` and the
+         Generator/BitGenerator constructors are allowed).
+RPR002   No O(n²) Python-level pair loops in ``core/``, ``algorithms/``
+         and ``stream/``: two nested ``for _ in range(...)`` loops that
+         index a pairwise matrix with both loop variables must be
+         replaced by the blocked vectorized kernels.
+RPR003   Array allocations (``np.zeros/empty/full/ones``) in kernel
+         packages (``core``, ``stream``, ``algorithms``, ``cluster``,
+         ``consensus``, ``baselines``) must pass an explicit ``dtype``.
+RPR004   No mutable default arguments, and no in-place mutation of
+         ``Clustering.labels`` (assigning into ``<expr>.labels[...]``
+         or calling a mutating ndarray method on it) — take a
+         ``.copy()`` first.
+RPR005   Public library functions taking randomness must follow the
+         signature convention ``rng: np.random.Generator | int | None``
+         (parameters named ``seed`` / ``random_state`` are rejected).
+=======  ==============================================================
+
+Suppressions
+------------
+
+Append ``# repolint: disable=RPR001`` (comma-separate several codes) to
+the flagged line, or put ``# repolint: disable-file=RPR002`` on a line of
+its own to silence a rule for the whole file.
+
+Usage
+-----
+
+::
+
+    python -m repro.analysis.lint src tests            # text report
+    python -m repro.analysis.lint --json src tests     # machine-readable
+    python -m repro.analysis.lint --list-rules
+
+Exit status is 0 when clean, 1 when findings remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import dataclasses
+import json
+import re
+import sys
+from pathlib import Path, PurePath
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["RULES", "Finding", "lint_source", "lint_file", "lint_paths", "main"]
+
+#: Rule id -> one-line description (shown by ``--list-rules``).
+RULES: dict[str, str] = {
+    "RPR001": "global-state RNG call; thread a numpy.random.Generator instead",
+    "RPR002": "O(n^2) Python-level pair loop over a pairwise matrix; use the blocked kernels",
+    "RPR003": "array allocation without an explicit dtype in a kernel module",
+    "RPR004": "mutable default argument / in-place mutation of Clustering.labels",
+    "RPR005": "randomness parameter must follow `rng: np.random.Generator | int | None`",
+}
+
+#: Subpackages of ``repro`` whose files RPR002 applies to.
+PAIR_LOOP_PACKAGES = frozenset({"core", "algorithms", "stream"})
+
+#: Subpackages of ``repro`` counted as kernel modules for RPR003.
+KERNEL_PACKAGES = frozenset(
+    {"core", "stream", "algorithms", "cluster", "consensus", "baselines"}
+)
+
+#: numpy.random attributes that do NOT touch global RNG state.
+ALLOWED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+#: stdlib ``random`` attributes that are instance constructors, not global state.
+ALLOWED_STDLIB_RANDOM = frozenset({"Random", "SystemRandom"})
+
+#: ndarray methods that mutate in place (RPR004 on ``<expr>.labels``).
+_NDARRAY_MUTATORS = frozenset(
+    {"sort", "fill", "put", "partition", "resize", "setfield", "setflags", "itemset"}
+)
+
+_ALLOC_DTYPE_POSITION = {"zeros": 1, "empty": 1, "ones": 1, "full": 2}
+
+_SUPPRESS_LINE = re.compile(r"#\s*repolint:\s*disable=([A-Z0-9,\s]+)")
+_SUPPRESS_FILE = re.compile(r"#\s*repolint:\s*disable-file=([A-Z0-9,\s]+)")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One lint finding: a rule violated at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+def _repro_subpackage(path: str) -> str | None:
+    """The subpackage of ``repro`` a file lives in.
+
+    Returns e.g. ``"core"`` for ``src/repro/core/instance.py``, ``""`` for
+    top-level modules like ``src/repro/cli.py``, and ``None`` for files
+    outside the library (tests, benchmarks, fixture snippets).
+    """
+    parts = PurePath(path).parts
+    if "repro" not in parts:
+        return None
+    anchor = len(parts) - 1 - parts[::-1].index("repro")
+    below = parts[anchor + 1 :]
+    if len(below) <= 1:
+        return ""
+    return below[0]
+
+
+def _dotted_name(node: ast.expr) -> tuple[str, ...] | None:
+    """Flatten an ``a.b.c`` attribute chain to ``("a", "b", "c")``."""
+    names: list[str] = []
+    while isinstance(node, ast.Attribute):
+        names.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        names.append(node.id)
+        return tuple(reversed(names))
+    return None
+
+
+def _collect_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Per-line and file-wide ``# repolint: disable`` directives."""
+    per_line: dict[int, set[str]] = {}
+    file_wide: set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_FILE.search(text)
+        if match:
+            file_wide.update(code.strip() for code in match.group(1).split(",") if code.strip())
+            continue
+        match = _SUPPRESS_LINE.search(text)
+        if match:
+            codes = {code.strip() for code in match.group(1).split(",") if code.strip()}
+            per_line.setdefault(lineno, set()).update(codes)
+    return per_line, file_wide
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-pass visitor implementing all repolint rules for one file."""
+
+    def __init__(self, path: str, subpackage: str | None) -> None:
+        self._path = path
+        self._in_library = subpackage is not None
+        self._check_pair_loops = subpackage in PAIR_LOOP_PACKAGES
+        self._check_alloc_dtype = subpackage in KERNEL_PACKAGES
+        self.findings: list[Finding] = []
+        # Names the file binds to numpy, numpy.random, and stdlib random.
+        self._numpy_aliases: set[str] = set()
+        self._numpy_random_aliases: set[str] = set()
+        self._stdlib_random_aliases: set[str] = set()
+        # For loops already reported (avoid duplicate RPR002 per nest).
+        self._reported_pair_loops: set[int] = set()
+
+    # -- helpers -------------------------------------------------------
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self._path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=rule,
+                message=message,
+            )
+        )
+
+    # -- imports (alias tracking + RPR001 on `from` imports) -----------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "numpy" or alias.name.startswith("numpy."):
+                if alias.name == "numpy.random" and alias.asname:
+                    self._numpy_random_aliases.add(alias.asname)
+                else:
+                    self._numpy_aliases.add(bound)
+            elif alias.name == "random":
+                self._stdlib_random_aliases.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self._numpy_random_aliases.add(alias.asname or "random")
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in ALLOWED_NP_RANDOM:
+                    self._report(
+                        node,
+                        "RPR001",
+                        f"`from numpy.random import {alias.name}` pulls a global-state "
+                        "RNG function; thread a Generator instead",
+                    )
+        elif node.module == "random":
+            for alias in node.names:
+                if alias.name not in ALLOWED_STDLIB_RANDOM:
+                    self._report(
+                        node,
+                        "RPR001",
+                        f"`from random import {alias.name}` uses the global stdlib RNG; "
+                        "thread a numpy Generator instead",
+                    )
+        self.generic_visit(node)
+
+    # -- calls (RPR001 global RNG, RPR003 dtype, RPR004 mutators) ------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            self._check_rng_call(node, dotted)
+            self._check_allocation(node, dotted)
+        self._check_labels_mutator_call(node)
+        self.generic_visit(node)
+
+    def _check_rng_call(self, node: ast.Call, dotted: tuple[str, ...]) -> None:
+        if (
+            len(dotted) >= 3
+            and dotted[0] in self._numpy_aliases
+            and dotted[1] == "random"
+            and dotted[2] not in ALLOWED_NP_RANDOM
+        ):
+            self._report(
+                node,
+                "RPR001",
+                f"`{'.'.join(dotted)}()` mutates numpy's global RNG state; "
+                "thread a `np.random.Generator`",
+            )
+        elif (
+            len(dotted) >= 2
+            and dotted[0] in self._numpy_random_aliases
+            and dotted[1] not in ALLOWED_NP_RANDOM
+        ):
+            self._report(
+                node,
+                "RPR001",
+                f"`{'.'.join(dotted)}()` mutates numpy's global RNG state; "
+                "thread a `np.random.Generator`",
+            )
+        elif (
+            len(dotted) == 2
+            and dotted[0] in self._stdlib_random_aliases
+            and dotted[1] not in ALLOWED_STDLIB_RANDOM
+        ):
+            self._report(
+                node,
+                "RPR001",
+                f"`{'.'.join(dotted)}()` uses the stdlib global RNG; "
+                "thread a `np.random.Generator`",
+            )
+
+    def _check_allocation(self, node: ast.Call, dotted: tuple[str, ...]) -> None:
+        if not self._check_alloc_dtype:
+            return
+        if len(dotted) != 2 or dotted[0] not in self._numpy_aliases:
+            return
+        position = _ALLOC_DTYPE_POSITION.get(dotted[1])
+        if position is None:
+            return
+        has_dtype = any(kw.arg == "dtype" for kw in node.keywords) or len(node.args) > position
+        if not has_dtype:
+            self._report(
+                node,
+                "RPR003",
+                f"`{'.'.join(dotted)}` in a kernel module must pass an explicit dtype",
+            )
+
+    # -- RPR004: Clustering.labels mutation ----------------------------
+
+    @staticmethod
+    def _is_labels_attribute(node: ast.expr) -> bool:
+        return isinstance(node, ast.Attribute) and node.attr == "labels"
+
+    def _check_labels_mutator_call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _NDARRAY_MUTATORS
+            and self._is_labels_attribute(func.value)
+        ):
+            self._report(
+                node,
+                "RPR004",
+                f"in-place `.{func.attr}()` on `.labels`; Clustering labels are "
+                "immutable — work on a `.copy()`",
+            )
+
+    def _check_labels_store(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Subscript) and self._is_labels_attribute(target.value):
+            self._report(
+                target,
+                "RPR004",
+                "assignment into `.labels[...]`; Clustering labels are immutable — "
+                "work on a `.copy()`",
+            )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_labels_store(element)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_labels_store(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_labels_store(node.target)
+        self.generic_visit(node)
+
+    # -- RPR002: nested pair loops -------------------------------------
+
+    @staticmethod
+    def _simple_range_var(node: ast.For) -> str | None:
+        """The loop variable when ``node`` is ``for <name> in range(...)``.
+
+        Three-argument ranges (an explicit step) are treated as blocked
+        iteration and skipped — that is exactly the sanctioned pattern of
+        the row-blocked kernels.
+        """
+        if not isinstance(node.target, ast.Name):
+            return None
+        call = node.iter
+        if not (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Name)
+            and call.func.id == "range"
+            and len(call.args) <= 2
+        ):
+            return None
+        return node.target.id
+
+    @staticmethod
+    def _indexes_pair(node: ast.AST, first: str, second: str) -> bool:
+        """Whether any subscript under ``node`` indexes with both loop vars."""
+
+        def uses(expr: ast.expr, name: str) -> bool:
+            return any(
+                isinstance(sub, ast.Name) and sub.id == name for sub in ast.walk(expr)
+            )
+
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Subscript):
+                continue
+            index = sub.slice
+            if isinstance(index, ast.Tuple) and len(index.elts) >= 2:
+                if uses(index, first) and uses(index, second):
+                    return True
+            # Chained form: matrix[i][j]
+            if isinstance(sub.value, ast.Subscript):
+                if (uses(sub.slice, first) and uses(sub.value.slice, second)) or (
+                    uses(sub.slice, second) and uses(sub.value.slice, first)
+                ):
+                    return True
+        return False
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._check_pair_loops and id(node) not in self._reported_pair_loops:
+            outer_var = self._simple_range_var(node)
+            if outer_var is not None:
+                for inner in ast.walk(node):
+                    if inner is node or not isinstance(inner, ast.For):
+                        continue
+                    inner_var = self._simple_range_var(inner)
+                    if inner_var is None or inner_var == outer_var:
+                        continue
+                    if self._indexes_pair(inner, outer_var, inner_var):
+                        self._reported_pair_loops.add(id(inner))
+                        self._report(
+                            node,
+                            "RPR002",
+                            f"nested Python loops over `range` index a pairwise matrix "
+                            f"with `{outer_var}`/`{inner_var}`; use the blocked "
+                            "vectorized kernels",
+                        )
+                        break
+        self.generic_visit(node)
+
+    # -- RPR004 (defaults) + RPR005 (rng signature) --------------------
+
+    def _check_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        arguments = node.args
+        for default in list(arguments.defaults) + [d for d in arguments.kw_defaults if d]:
+            if self._is_mutable_default(default):
+                self._report(
+                    default,
+                    "RPR004",
+                    f"mutable default argument in `{node.name}`; default to None "
+                    "and allocate inside the function",
+                )
+        if self._in_library and not node.name.startswith("_"):
+            for arg in arguments.posonlyargs + arguments.args + arguments.kwonlyargs:
+                if arg.arg in ("seed", "random_state"):
+                    self._report(
+                        arg,
+                        "RPR005",
+                        f"parameter `{arg.arg}` of public `{node.name}` breaks the "
+                        "randomness convention; name it `rng: np.random.Generator "
+                        "| int | None`",
+                    )
+                elif arg.arg == "rng":
+                    annotation = (
+                        ast.unparse(arg.annotation) if arg.annotation is not None else ""
+                    )
+                    if not (
+                        "Generator" in annotation
+                        and "int" in annotation
+                        and "None" in annotation
+                    ):
+                        self._report(
+                            arg,
+                            "RPR005",
+                            f"`rng` parameter of public `{node.name}` must be "
+                            "annotated `np.random.Generator | int | None`",
+                        )
+
+    @staticmethod
+    def _is_mutable_default(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("list", "dict", "set", "bytearray")
+        return False
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one Python source string; returns the unsuppressed findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=path,
+                line=error.lineno or 1,
+                col=(error.offset or 0) + 1,
+                rule="RPR000",
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    checker = _Checker(path, _repro_subpackage(path))
+    checker.visit(tree)
+    per_line, file_wide = _collect_suppressions(source)
+    kept = [
+        finding
+        for finding in checker.findings
+        if finding.rule not in file_wide and finding.rule not in per_line.get(finding.line, set())
+    ]
+    return sorted(kept, key=lambda f: (f.line, f.col, f.rule))
+
+
+def lint_file(path: str | Path) -> list[Finding]:
+    """Lint one file on disk."""
+    file_path = Path(path)
+    return lint_source(file_path.read_text(encoding="utf-8"), str(file_path))
+
+
+def _iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Sequence[str | Path]) -> tuple[list[Finding], int]:
+    """Lint files and directories; returns ``(findings, files_checked)``."""
+    findings: list[Finding] = []
+    checked = 0
+    for file_path in _iter_python_files(paths):
+        checked += 1
+        findings.extend(lint_file(file_path))
+    return findings, checked
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Repository-specific invariant linter (rules RPR001-RPR005).",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument("--json", action="store_true", help="emit a JSON report on stdout")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    if args.list_rules:
+        for rule, description in sorted(RULES.items()):
+            print(f"{rule}  {description}")
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given", file=sys.stderr)
+        return 2
+
+    findings, checked = lint_paths(args.paths)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "files_checked": checked,
+                    "findings": [finding.as_dict() for finding in findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format())
+        summary = f"{len(findings)} finding(s) in {checked} file(s)"
+        print(summary if findings else f"clean: {summary}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -83,7 +83,7 @@ def _merge_to_k(links: np.ndarray, k: int, exponent: float) -> np.ndarray:
         best_val[rows] = goodness[np.arange(rows.size), positions]
 
     best_idx = np.full(n, -1, dtype=np.int64)
-    best_val = np.full(n, -np.inf)
+    best_val = np.full(n, -np.inf, dtype=np.float64)
     repair_rows(np.arange(n))
 
     remaining = n

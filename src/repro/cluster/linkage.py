@@ -128,7 +128,7 @@ def linkage(
             D = euclidean_matrix(pts)
     n = D.shape[0]
     if n == 1:
-        return LinkageResult(np.empty((0, 3)), 1, method)
+        return LinkageResult(np.empty((0, 3), dtype=np.float64), 1, method)
 
     np.fill_diagonal(D, np.inf)
     active = np.ones(n, dtype=bool)

@@ -92,7 +92,7 @@ def mixture_consensus(
 
 def _em_once(encodings, arities, n, k, max_iter, tol, generator) -> MixtureResult:
     # Responsibilities initialized from a random soft assignment.
-    responsibilities = generator.dirichlet(np.ones(k), size=n)
+    responsibilities = generator.dirichlet(np.ones(k, dtype=np.float64), size=n)
     log_likelihood = -np.inf
     converged = False
     iteration = 0

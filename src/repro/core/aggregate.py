@@ -179,14 +179,15 @@ def aggregate(
     """
     matrix: np.ndarray | None = None
     instance: CorrelationInstance | None = None
+    label_matrix_method = getattr(inputs, "label_matrix", None)
     if isinstance(inputs, CorrelationInstance):
         instance = inputs
     elif isinstance(inputs, np.ndarray):
         validate_label_matrix(inputs)
         matrix = inputs
-    elif hasattr(inputs, "label_matrix"):
+    elif callable(label_matrix_method):
         # Duck-typed CategoricalDataset: its attributes are the clusterings.
-        matrix = inputs.label_matrix()
+        matrix = label_matrix_method()
         validate_label_matrix(matrix)
     else:
         matrix = as_label_matrix(inputs)
@@ -230,6 +231,8 @@ def aggregate(
             )
         else:
             data = matrix if matrix is not None else instance
+            if data is None:  # unreachable: inputs is always one of the three forms
+                raise ValueError("method 'sampling' needs clusterings or an instance")
             clustering = sampling(data, inner, p=p, **params)
     elif method == "streaming":
         if matrix is None:

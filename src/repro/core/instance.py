@@ -25,6 +25,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from ..analysis.contracts import check_distance_matrix, contracts_enabled
 from .labels import MISSING, as_label_matrix, validate_label_matrix
 from .partition import Clustering
 
@@ -148,10 +149,14 @@ class CorrelationInstance:
         m: int | None = None,
         validate: bool = True,
         weights: np.ndarray | None = None,
-    ):
+    ) -> None:
         X = np.asarray(distances)
         if validate:
             self._validate(X)
+        elif contracts_enabled():
+            # Fast construction paths skip validation; in debug mode the
+            # contract layer re-checks the §3 shape invariants anyway.
+            check_distance_matrix(X)
         self._X = X
         if m is not None and m < 1:
             raise ValueError("m must be a positive count of input clusterings")
@@ -202,7 +207,20 @@ class CorrelationInstance:
         (atom) instances — see :mod:`repro.core.atoms`.
         """
         X = disagreement_fractions(matrix, p=p, dtype=dtype, missing=missing)
-        return cls(X, m=matrix.shape[1], validate=False, weights=weights)
+        instance = cls(X, m=matrix.shape[1], validate=False, weights=weights)
+        if (
+            contracts_enabled()
+            and missing == "coin-flip"
+            and (p == 0.5 or not np.any(matrix == MISSING))
+        ):
+            # Aggregation instances are metric (§3, Observation 1).  The
+            # "average" strategy and off-center coin flips (p != 0.5 with
+            # missing entries) can legitimately break the triangle
+            # inequality, so the contract is scoped to the metric cases.
+            check_distance_matrix(
+                X, check_triangle=True, context="CorrelationInstance.from_label_matrix"
+            )
+        return instance
 
     @classmethod
     def from_clusterings(

@@ -41,7 +41,7 @@ class MoveEvaluator:
 
     _GROWTH = 8  # extra slots allocated when the mass matrix is enlarged
 
-    def __init__(self, instance: CorrelationInstance, initial: Clustering | np.ndarray):
+    def __init__(self, instance: CorrelationInstance, initial: Clustering | np.ndarray) -> None:
         labels = initial.labels if isinstance(initial, Clustering) else np.asarray(initial)
         if labels.shape != (instance.n,):
             raise ValueError("initial labels must cover every object of the instance")
@@ -287,7 +287,7 @@ class MoveEvaluator:
         rows = np.arange(self.n)
         stay = scores[rows, own_pos] + weights * weights
         scores[rows, own_pos] = np.inf
-        best_other = scores.min(axis=1) if slots.size > 1 else np.full(self.n, np.inf)
+        best_other = scores.min(axis=1) if slots.size > 1 else np.full(self.n, np.inf, dtype=np.float64)
         alone = self._sizes[self._labels] == weights
         singleton = np.where(alone, np.inf, 0.0)
         return np.flatnonzero(np.minimum(best_other, singleton) < stay - eps)
@@ -406,7 +406,7 @@ class ClusterCountTables:
         member_labels: np.ndarray,
         p: float = 0.5,
         member_weights: np.ndarray | None = None,
-    ):
+    ) -> None:
         validate_label_matrix(matrix)
         member_rows = np.asarray(member_rows, dtype=np.int64)
         member_labels = np.asarray(member_labels, dtype=np.int64)

@@ -18,6 +18,8 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from ..analysis.contracts import check_canonical_labels, contracts_enabled
+
 __all__ = ["Clustering"]
 
 
@@ -52,7 +54,7 @@ class Clustering:
 
     __slots__ = ("_labels", "_k", "_hash")
 
-    def __init__(self, labels: Sequence[int] | np.ndarray):
+    def __init__(self, labels: Sequence[int] | np.ndarray) -> None:
         arr = np.asarray(labels)
         if arr.ndim != 1:
             raise ValueError(f"labels must be one-dimensional, got shape {arr.shape}")
@@ -67,6 +69,8 @@ class Clustering:
             )
         canonical = _canonicalize(arr)
         canonical.setflags(write=False)
+        if contracts_enabled():
+            check_canonical_labels(canonical)
         self._labels = canonical
         self._k = int(canonical.max()) + 1
         self._hash: int | None = None

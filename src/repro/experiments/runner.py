@@ -137,10 +137,14 @@ def kmeans_sweep(
     points: np.ndarray,
     k_range: range = range(2, 11),
     n_init: int = 4,
-    rng: int = 0,
+    rng: np.random.Generator | int | None = 0,
 ) -> np.ndarray:
     """The Figure 4/5 input: k-means labels for each ``k`` as a label matrix."""
-    labels = [
-        kmeans(points, k, n_init=n_init, rng=rng + k).labels for k in k_range
-    ]
-    return as_label_matrix(labels)
+    if isinstance(rng, (int, np.integer)):
+        # Integer seeds keep the historical per-k derived seeds (rng + k) so
+        # existing experiment tables reproduce bit-identically.
+        runs = [kmeans(points, k, n_init=n_init, rng=int(rng) + k) for k in k_range]
+    else:
+        generator = np.random.default_rng(rng)
+        runs = [kmeans(points, k, n_init=n_init, rng=generator) for k in k_range]
+    return as_label_matrix([run.labels for run in runs])

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -54,7 +55,7 @@ def save_checkpoint(engine: StreamingAggregator, path: str | Path) -> Path:
         "engine": state["config"],
         "rng_state": state["rng_state"],
     }
-    arrays: dict[str, np.ndarray] = {
+    arrays: dict[str, Any] = {
         "separation": instance_state["separation"],
         "weight": np.float64(instance_state["weight"]),
         "count": np.int64(instance_state["count"]),

@@ -41,9 +41,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
+from ..analysis.contracts import check_stream_drift, contracts_enabled
 from ..algorithms.local_search import local_search, refine
 from ..algorithms.sampling import sampling
 from ..core.instance import CorrelationInstance
@@ -144,7 +146,7 @@ class StreamingAggregator:
         max_sweeps: int = 200,
         resync_every: int = 256,
         rng: np.random.Generator | int | None = None,
-    ):
+    ) -> None:
         if sampling_threshold < 1:
             raise ValueError("sampling_threshold must be positive")
         if resync_every < 1:
@@ -267,15 +269,16 @@ class StreamingAggregator:
             )
         else:
             instance = self._refresh_instance()
+            evaluator = self._evaluator
             if (
-                self._evaluator is not None
+                evaluator is not None
                 and self._incremental.missing == "coin-flip"
                 and self._updates_since_sync < self._resync_every
             ):
                 # Affine X update: follow it on the live evaluator in O(n·k).
                 weight_after = self._incremental.effective_m
                 scale = self._incremental.decay * weight_before / weight_after
-                self._evaluator.apply_stream_update(
+                evaluator.apply_stream_update(
                     column, self._incremental.p, scale, 1.0 / weight_after
                 )
                 self._updates_since_sync += 1
@@ -283,20 +286,30 @@ class StreamingAggregator:
                 initial = (
                     Clustering.singletons(self.n) if self._consensus is None else self._consensus
                 )
-                self._evaluator = MoveEvaluator(instance, initial)
+                evaluator = MoveEvaluator(instance, initial)
+                self._evaluator = evaluator
                 self._updates_since_sync = 0
-            details = refine(self._evaluator, max_sweeps=self._max_sweeps)
-            self._consensus = self._evaluator.clustering()
+            details = refine(evaluator, max_sweeps=self._max_sweeps)
+            self._consensus = evaluator.clustering()
             # Shrink freed slots and renumber canonically so the next
             # O(n·k) mass update really is O(n·k), not O(n·slots-ever).
-            self._evaluator.compact()
+            evaluator.compact()
             moves, sweeps = details.moves, details.sweeps
         refine_seconds = time.perf_counter() - start
 
-        if used_sampling:
+        evaluator = self._evaluator
+        if used_sampling or evaluator is None:
             cost = instance.cost(self._consensus)
         else:
-            cost = self._evaluator.total_cost_fast()
+            cost = evaluator.total_cost_fast()
+            if contracts_enabled():
+                # Debug-mode drift bound: the mass-maintained cost must track
+                # a from-scratch recomputation on the current instance.
+                check_stream_drift(
+                    cost,
+                    instance.cost(self._consensus),
+                    pairs=self.n * (self.n - 1) / 2.0,
+                )
         update = StreamUpdate(
             index=self._incremental.count,
             cost=cost,
@@ -322,7 +335,7 @@ class StreamingAggregator:
     # Checkpoint support (see repro.stream.checkpoint)
     # ------------------------------------------------------------------
 
-    def state(self) -> dict:
+    def state(self) -> dict[str, Any]:
         """Full engine state for checkpointing."""
         return {
             "instance": self._incremental.state(),
@@ -337,7 +350,7 @@ class StreamingAggregator:
         }
 
     @classmethod
-    def from_state(cls, state: dict) -> "StreamingAggregator":
+    def from_state(cls, state: dict[str, Any]) -> "StreamingAggregator":
         """Rebuild an engine from :meth:`state` output (inverse operation).
 
         The update history is observability data, not algorithm state, and

@@ -24,8 +24,11 @@ and still feeds every downstream algorithm unchanged.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
+from ..analysis.contracts import check_distance_matrix, contracts_enabled
 from ..core.instance import _BLOCK_ROWS, CorrelationInstance, pair_separation_block
 from ..core.labels import MISSING
 
@@ -60,7 +63,7 @@ class IncrementalCorrelationInstance:
         missing: str = "coin-flip",
         decay: float = 1.0,
         dtype: np.dtype | type | None = None,
-    ):
+    ) -> None:
         if n < 1:
             raise ValueError("an instance needs at least one object")
         if missing not in ("coin-flip", "average"):
@@ -154,7 +157,7 @@ class IncrementalCorrelationInstance:
                 column, start, stop, p=self._p, dtype=self._dtype, missing=self._missing
             )
             self._separation[start:stop] += separation
-            if both_present is not None:
+            if both_present is not None and self._comparable is not None:
                 self._comparable[start:stop] += both_present
         self._weight = self._decay * self._weight + 1.0
         self._count += 1
@@ -184,6 +187,8 @@ class IncrementalCorrelationInstance:
                 np.divide(self._separation, self._comparable, out=out)
             out[self._comparable == 0] = self._dtype.type(0.5)
         np.fill_diagonal(out, 0.0)
+        if contracts_enabled():
+            check_distance_matrix(out, context="IncrementalCorrelationInstance.distances")
         return out
 
     def instance(self) -> CorrelationInstance:
@@ -198,7 +203,7 @@ class IncrementalCorrelationInstance:
     # Checkpoint support (see repro.stream.checkpoint)
     # ------------------------------------------------------------------
 
-    def state(self) -> dict:
+    def state(self) -> dict[str, Any]:
         """Internal accumulators + config, for checkpointing."""
         return {
             "separation": self._separation,
@@ -215,7 +220,7 @@ class IncrementalCorrelationInstance:
         }
 
     @classmethod
-    def from_state(cls, state: dict) -> "IncrementalCorrelationInstance":
+    def from_state(cls, state: dict[str, Any]) -> "IncrementalCorrelationInstance":
         """Rebuild an instance from :meth:`state` output (inverse operation)."""
         config = state["config"]
         inst = cls(

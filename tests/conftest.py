@@ -6,8 +6,26 @@ import numpy as np
 import pytest
 
 from repro import Clustering
+from repro.analysis.contracts import contracts
 from repro.core import CorrelationInstance
 from repro.core.labels import as_label_matrix
+
+
+@pytest.fixture(autouse=True)
+def _runtime_contracts(request: pytest.FixtureRequest):
+    """Run every test with debug-mode runtime contracts enabled.
+
+    The contract layer (repro.analysis.contracts) validates instance
+    symmetry/range/triangle-inequality, canonical labels, and streaming
+    drift bounds on the fly, so the whole suite doubles as an invariant
+    exerciser.  Opt out with ``@pytest.mark.no_contracts`` (e.g. for
+    benchmarks where the O(n²) checks would dominate).
+    """
+    if request.node.get_closest_marker("no_contracts"):
+        yield
+        return
+    with contracts():
+        yield
 
 
 @pytest.fixture

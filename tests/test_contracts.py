@@ -1,0 +1,257 @@
+"""Runtime-contract tests: corrupt state and assert the contracts fire.
+
+The autouse fixture in ``conftest.py`` enables contracts for every test
+here, so constructor-level hooks (``CorrelationInstance``, ``Clustering``,
+the streaming engine) are live without any per-test setup.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import Clustering
+from repro.analysis.contracts import (
+    ContractViolation,
+    check_canonical_labels,
+    check_distance_matrix,
+    check_stream_drift,
+    contracts,
+    contracts_enabled,
+    disable_contracts,
+    enable_contracts,
+    max_triangle_violation,
+)
+from repro.core import CorrelationInstance
+from repro.core.labels import as_label_matrix
+from repro.stream import IncrementalCorrelationInstance, StreamingAggregator
+
+#: What `contracts_enabled()` reported at import time, i.e. outside any
+#: test and before the autouse fixture runs (env-derived process default).
+_PROCESS_DEFAULT = contracts_enabled()
+
+
+# ---------------------------------------------------------------------------
+# Toggling
+# ---------------------------------------------------------------------------
+
+
+def test_autouse_fixture_enables_contracts() -> None:
+    assert contracts_enabled()
+
+
+@pytest.mark.no_contracts
+def test_no_contracts_marker_skips_the_fixture() -> None:
+    # The fixture must not force-enable contracts here; we observe the
+    # process default instead (False locally, True under REPRO_CONTRACTS=1).
+    assert contracts_enabled() == _PROCESS_DEFAULT
+
+
+def test_context_manager_restores_prior_state() -> None:
+    assert contracts_enabled()
+    with contracts(False):
+        assert not contracts_enabled()
+        with contracts(True):
+            assert contracts_enabled()
+        assert not contracts_enabled()
+    assert contracts_enabled()
+
+
+def test_enable_disable_functions() -> None:
+    try:
+        disable_contracts()
+        assert not contracts_enabled()
+        enable_contracts()
+        assert contracts_enabled()
+    finally:
+        enable_contracts()
+
+
+def test_env_var_enables_contracts_in_fresh_process() -> None:
+    src = Path(__file__).resolve().parents[1] / "src"
+    code = "from repro.analysis.contracts import contracts_enabled; print(contracts_enabled())"
+    for value, expected in [("1", "True"), ("", "False"), ("0", "False"), ("yes", "True")]:
+        env = {**os.environ, "REPRO_CONTRACTS": value, "PYTHONPATH": str(src)}
+        result = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True, check=True
+        )
+        assert result.stdout.strip() == expected, f"REPRO_CONTRACTS={value!r}"
+
+
+def test_violation_is_assertion_error() -> None:
+    assert issubclass(ContractViolation, AssertionError)
+
+
+# ---------------------------------------------------------------------------
+# Distance-matrix contract
+# ---------------------------------------------------------------------------
+
+
+def _clean_matrix() -> np.ndarray:
+    X = np.array(
+        [[0.0, 0.4, 0.6], [0.4, 0.0, 0.5], [0.6, 0.5, 0.0]], dtype=np.float64
+    )
+    return X
+
+
+def test_distance_matrix_accepts_well_formed() -> None:
+    check_distance_matrix(_clean_matrix(), check_triangle=True)
+
+
+@pytest.mark.parametrize(
+    "corrupt, match",
+    [
+        (lambda X: X[:2], "square"),
+        (lambda X: X.astype(np.int64), "floating"),
+        (lambda X: _with(X, (1, 1), 0.3), "diagonal"),
+        (lambda X: _with(X, (0, 1), 0.9), "symmetric"),
+        (lambda X: _with_sym(X, (0, 1), -0.2), "lie in"),
+        (lambda X: _with_sym(X, (0, 1), 1.7), "lie in"),
+    ],
+)
+def test_distance_matrix_rejects_corruption(corrupt, match) -> None:
+    with pytest.raises(ContractViolation, match=match):
+        check_distance_matrix(corrupt(_clean_matrix()))
+
+
+def _with(X: np.ndarray, index: tuple[int, int], value: float) -> np.ndarray:
+    X = X.copy()
+    X[index] = value
+    return X
+
+
+def _with_sym(X: np.ndarray, index: tuple[int, int], value: float) -> np.ndarray:
+    i, j = index
+    X = X.copy()
+    X[i, j] = X[j, i] = value
+    return X
+
+
+def test_triangle_inequality_contract() -> None:
+    # d(0,2)=1.0 > d(0,1)+d(1,2)=0.4: a clear metric violation.
+    X = np.array(
+        [[0.0, 0.2, 1.0], [0.2, 0.0, 0.2], [1.0, 0.2, 0.0]], dtype=np.float64
+    )
+    assert max_triangle_violation(X) == pytest.approx(0.6)
+    check_distance_matrix(X)  # fine without the triangle sweep
+    with pytest.raises(ContractViolation, match="triangle"):
+        check_distance_matrix(X, check_triangle=True)
+
+
+def test_instance_constructor_contract_fires(figure1_clusterings) -> None:
+    good = CorrelationInstance.from_clusterings(figure1_clusterings)
+    check_distance_matrix(good.X, check_triangle=True)
+
+    bad = good.X.copy()
+    bad[0, 1] = 0.9  # break symmetry
+    with pytest.raises(ContractViolation, match="symmetric"):
+        CorrelationInstance(bad, validate=False)
+    with contracts(False):
+        CorrelationInstance(bad, validate=False)  # hooks compiled out
+
+
+def test_from_label_matrix_runs_triangle_contract(figure1_clusterings) -> None:
+    matrix = as_label_matrix([c.labels for c in figure1_clusterings])
+    instance = CorrelationInstance.from_label_matrix(matrix)
+    assert max_triangle_violation(instance.X) <= 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Canonical-labels contract
+# ---------------------------------------------------------------------------
+
+
+def test_canonical_labels_accepts_valid() -> None:
+    check_canonical_labels(np.array([0, 0, 1, 2, 1], dtype=np.int32))
+    check_canonical_labels(np.zeros(4, dtype=np.int64))
+
+
+@pytest.mark.parametrize(
+    "labels, match",
+    [
+        (np.array([[0, 1]]), "vector"),
+        (np.array([], dtype=np.int64), "vector"),
+        (np.array([0.0, 1.0]), "integers"),
+        (np.array([0, -1]), "non-negative"),
+        (np.array([0, 2, 2]), "dense"),
+        (np.array([1, 0, 1]), "first appearance"),
+    ],
+)
+def test_canonical_labels_rejects_corruption(labels, match) -> None:
+    with pytest.raises(ContractViolation, match=match):
+        check_canonical_labels(labels)
+
+
+def test_clustering_constructor_satisfies_contract() -> None:
+    # Arbitrary labels are canonicalized on the way in; the contract hook
+    # in Clustering.__init__ re-validates that postcondition.
+    c = Clustering([7, 7, 3, 9, 3])
+    check_canonical_labels(c.labels)
+    assert c.labels.tolist() == [0, 0, 1, 2, 1]
+
+
+def test_clustering_contract_catches_broken_canonicalization(monkeypatch) -> None:
+    from repro.core import partition
+
+    monkeypatch.setattr(partition, "_canonicalize", lambda arr: arr.astype(np.int32))
+    with pytest.raises(ContractViolation):
+        Clustering([5, 5, 9])
+    with contracts(False):
+        Clustering([5, 5, 9])  # corruption goes unnoticed when disabled
+
+
+# ---------------------------------------------------------------------------
+# Streaming contracts
+# ---------------------------------------------------------------------------
+
+
+def test_stream_drift_tolerates_rounding() -> None:
+    check_stream_drift(10.0 + 1e-9, 10.0, pairs=66.0)
+
+
+def test_stream_drift_rejects_divergence() -> None:
+    with pytest.raises(ContractViolation, match="drifted"):
+        check_stream_drift(11.0, 10.0, pairs=66.0)
+
+
+def test_incremental_distances_contract() -> None:
+    inst = IncrementalCorrelationInstance(5)
+    inst.observe(np.array([0, 0, 1, 1, 2]))
+    inst.distances()  # well-formed: contract passes
+
+    inst._separation[0, 1] = inst._separation[1, 0] = -3.0  # corrupt counts
+    with pytest.raises(ContractViolation, match="lie in"):
+        inst.distances()
+
+
+def test_streaming_engine_runs_clean_under_contracts() -> None:
+    rng = np.random.default_rng(7)
+    engine = StreamingAggregator(12, rng=0)
+    for _ in range(6):
+        engine.observe(rng.integers(0, 3, size=12))
+    assert engine.cost() >= 0.0
+
+
+def test_streaming_engine_contract_catches_drifting_cost(monkeypatch) -> None:
+    # Simulate broken incremental mass maintenance by skewing the cost the
+    # warm path reads off the masses; observe() must trip the drift bound
+    # against the from-scratch recomputation.
+    from repro.core.objective import MoveEvaluator
+
+    rng = np.random.default_rng(7)
+    engine = StreamingAggregator(12, rng=0)
+    for _ in range(4):
+        engine.observe(rng.integers(0, 3, size=12))
+    assert engine._evaluator is not None  # warm path active
+
+    real = MoveEvaluator.total_cost_fast
+    monkeypatch.setattr(MoveEvaluator, "total_cost_fast", lambda self: real(self) + 1.0)
+    with pytest.raises(ContractViolation, match="drifted"):
+        engine.observe(rng.integers(0, 3, size=12))
+    with contracts(False):
+        engine.observe(rng.integers(0, 3, size=12))  # unchecked when disabled

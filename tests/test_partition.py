@@ -39,7 +39,7 @@ class TestConstruction:
     def test_labels_are_read_only(self):
         c = Clustering([0, 1])
         with pytest.raises(ValueError):
-            c.labels[0] = 1
+            c.labels[0] = 1  # repolint: disable=RPR004
 
     def test_from_clusters(self):
         c = Clustering.from_clusters([[0, 2], [1, 3], [4]])

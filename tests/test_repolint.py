@@ -1,0 +1,355 @@
+"""repolint rule tests: true positives, clean negatives, suppressions, CLI.
+
+Each rule is exercised through :func:`repro.analysis.lint.lint_source` with
+a synthetic ``path`` argument, because rule scoping (RPR002/003/005) keys
+off the file's location inside the ``repro`` package tree.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import RULES, Finding, lint_paths, lint_source, main
+
+CORE = "src/repro/core/snippet.py"
+ALGOS = "src/repro/algorithms/snippet.py"
+OUTSIDE = "tests/snippet.py"
+
+
+def codes(source: str, path: str = CORE) -> list[str]:
+    return [finding.rule for finding in lint_source(textwrap.dedent(source), path=path)]
+
+
+# ---------------------------------------------------------------------------
+# RPR001: global-state RNG
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import numpy as np\nx = np.random.rand(3)\n",
+        "import numpy as np\nnp.random.seed(0)\n",
+        "import numpy.random as npr\nnpr.shuffle([1, 2])\n",
+        "from numpy import random\nx = random.rand(2)\n",
+        "from numpy.random import rand\n",
+        "import random\nx = random.random()\n",
+        "from random import shuffle\n",
+    ],
+)
+def test_rpr001_flags_global_rng(source: str) -> None:
+    assert codes(source) == ["RPR001"]
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import numpy as np\nrng = np.random.default_rng(0)\nx = rng.random(3)\n",
+        "import numpy as np\ng = np.random.Generator(np.random.PCG64(1))\n",
+        "from numpy.random import Generator, SeedSequence\n",
+        "from random import Random\nr = Random(0)\nx = r.random()\n",
+        # A local variable named `random` is not the stdlib module.
+        "def f(random):\n    return random.choice([1])\n",
+    ],
+)
+def test_rpr001_allows_generator_api(source: str) -> None:
+    assert codes(source) == []
+
+
+def test_rpr001_applies_outside_the_library_too() -> None:
+    assert codes("import random\nrandom.seed(1)\n", path=OUTSIDE) == ["RPR001"]
+
+
+# ---------------------------------------------------------------------------
+# RPR002: Python-level pair loops
+# ---------------------------------------------------------------------------
+
+PAIR_LOOP = """
+    def pair_sum(X, n):
+        total = 0.0
+        for i in range(n):
+            for j in range(n):
+                total += X[i, j]
+        return total
+"""
+
+CHAINED_PAIR_LOOP = """
+    def pair_sum(X, n):
+        total = 0.0
+        for i in range(n):
+            for j in range(i):
+                total += X[i][j]
+        return total
+"""
+
+BLOCKED_LOOP = """
+    def pair_sum(X, n, block):
+        total = 0.0
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            total += float(X[start:stop, :].sum())
+        return total
+"""
+
+
+def test_rpr002_flags_nested_pair_loop() -> None:
+    findings = lint_source(textwrap.dedent(PAIR_LOOP), path=CORE)
+    assert [f.rule for f in findings] == ["RPR002"]
+    # Reported at the outer loop.
+    assert findings[0].line == 4
+
+
+def test_rpr002_flags_chained_subscripts() -> None:
+    assert codes(CHAINED_PAIR_LOOP) == ["RPR002"]
+
+
+def test_rpr002_allows_blocked_kernels() -> None:
+    assert codes(BLOCKED_LOOP) == []
+
+
+def test_rpr002_allows_single_loops_and_non_pair_bodies() -> None:
+    assert codes("def f(X, n):\n    for i in range(n):\n        X[i] = 0.0\n") == []
+    assert (
+        codes(
+            "def f(X, n):\n"
+            "    for i in range(n):\n"
+            "        for j in range(n):\n"
+            "            pass\n"
+        )
+        == []
+    )
+
+
+def test_rpr002_scoped_to_hot_packages() -> None:
+    assert codes(PAIR_LOOP, path=OUTSIDE) == []
+    assert codes(PAIR_LOOP, path="src/repro/datasets/snippet.py") == []
+
+
+# ---------------------------------------------------------------------------
+# RPR003: allocations need an explicit dtype in kernel modules
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "alloc",
+    ["np.zeros((3, 3))", "np.empty(5)", "np.ones(4)", "np.full(4, 1.5)"],
+)
+def test_rpr003_flags_dtypeless_allocations(alloc: str) -> None:
+    assert codes(f"import numpy as np\nx = {alloc}\n") == ["RPR003"]
+
+
+@pytest.mark.parametrize(
+    "alloc",
+    [
+        "np.zeros((3, 3), dtype=np.float64)",
+        "np.empty(5, np.float32)",  # positional dtype
+        "np.full(4, 1.5, dtype=np.float64)",
+        "np.zeros_like(y)",  # inherits dtype; not an RPR003 target
+    ],
+)
+def test_rpr003_allows_explicit_dtype(alloc: str) -> None:
+    assert codes(f"import numpy as np\ny = None\nx = {alloc}\n") == []
+
+
+def test_rpr003_scoped_to_kernel_packages() -> None:
+    source = "import numpy as np\nx = np.zeros(3)\n"
+    assert codes(source, path=OUTSIDE) == []
+    assert codes(source, path="src/repro/datasets/snippet.py") == []
+
+
+# ---------------------------------------------------------------------------
+# RPR004: mutable defaults and Clustering.labels mutation
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "def f(items=[]):\n    return items\n",
+        "def f(*, cache={}):\n    return cache\n",
+        "def f(x=dict()):\n    return x\n",
+        "def f(x=set()):\n    return x\n",
+    ],
+)
+def test_rpr004_flags_mutable_defaults(source: str) -> None:
+    assert codes(source) == ["RPR004"]
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "c.labels[0] = 1\n",
+        "c.labels[2:4] = 0\n",
+        "c.labels[0] += 1\n",
+        "c.labels.sort()\n",
+        "c.labels.fill(0)\n",
+    ],
+)
+def test_rpr004_flags_labels_mutation(source: str) -> None:
+    assert codes(source) == ["RPR004"]
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "def f(items=None):\n    return items or []\n",
+        "def f(x=()):\n    return x\n",
+        "labels = c.labels.copy()\nlabels[0] = 1\n",
+        "k = c.labels.max()\n",  # non-mutating method is fine
+    ],
+)
+def test_rpr004_clean_patterns(source: str) -> None:
+    assert codes(source) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR005: the rng signature convention (library files only)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "def sample(data, seed=0):\n    return data\n",
+        "def sample(data, random_state=None):\n    return data\n",
+        "def sample(data, rng=None):\n    return data\n",  # missing annotation
+        "import numpy as np\n"
+        "def sample(data, rng: np.random.Generator = None):\n    return data\n",
+    ],
+)
+def test_rpr005_flags_nonconforming_signatures(source: str) -> None:
+    assert codes(source, path=ALGOS) == ["RPR005"]
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import numpy as np\n"
+        "def sample(data, rng: np.random.Generator | int | None = None):\n"
+        "    return data\n",
+        "def _helper(rng):\n    return rng\n",  # private functions are exempt
+        "def sample(data):\n    return data\n",
+    ],
+)
+def test_rpr005_clean_signatures(source: str) -> None:
+    assert codes(source, path=ALGOS) == []
+
+
+def test_rpr005_scoped_to_library_files() -> None:
+    assert codes("def sample(data, seed=0):\n    return data\n", path=OUTSIDE) == []
+
+
+# ---------------------------------------------------------------------------
+# Suppression comments
+# ---------------------------------------------------------------------------
+
+
+def test_line_suppression_silences_matching_rule() -> None:
+    source = "import random\nrandom.seed(1)  # repolint: disable=RPR001\n"
+    assert codes(source) == []
+
+
+def test_line_suppression_ignores_other_rules() -> None:
+    source = "import random\nrandom.seed(1)  # repolint: disable=RPR003\n"
+    assert codes(source) == ["RPR001"]
+
+
+def test_line_suppression_accepts_comma_separated_codes() -> None:
+    source = "import random\nrandom.seed(1)  # repolint: disable=RPR003, RPR001\n"
+    assert codes(source) == []
+
+
+def test_file_wide_suppression() -> None:
+    source = (
+        "# repolint: disable-file=RPR001\n"
+        "import random\n"
+        "random.seed(1)\n"
+        "random.random()\n"
+    )
+    assert codes(source) == []
+
+
+def test_syntax_error_reports_rpr000() -> None:
+    findings = lint_source("def broken(:\n", path=OUTSIDE)
+    assert [f.rule for f in findings] == ["RPR000"]
+
+
+# ---------------------------------------------------------------------------
+# Findings, path handling, CLI
+# ---------------------------------------------------------------------------
+
+
+def test_finding_format_and_dict_round_trip() -> None:
+    finding = Finding(path="a.py", line=3, col=7, rule="RPR001", message="boom")
+    assert finding.format() == "a.py:3:7: RPR001 boom"
+    assert finding.as_dict() == {
+        "path": "a.py",
+        "line": 3,
+        "col": 7,
+        "rule": "RPR001",
+        "message": "boom",
+    }
+
+
+def test_lint_paths_walks_directories(tmp_path) -> None:
+    package = tmp_path / "repro" / "core"
+    package.mkdir(parents=True)
+    (package / "bad.py").write_text("import numpy as np\nx = np.zeros(3)\n")
+    (package / "good.py").write_text("import numpy as np\nx = np.zeros(3, dtype=np.float64)\n")
+    findings, checked = lint_paths([tmp_path])
+    assert checked == 2
+    assert [f.rule for f in findings] == ["RPR003"]
+
+
+def test_main_exit_codes(tmp_path, capsys) -> None:
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\nrandom.seed(1)\n")
+
+    assert main([str(clean)]) == 0
+    assert "clean" in capsys.readouterr().out
+    assert main([str(dirty)]) == 1
+    assert "RPR001" in capsys.readouterr().out
+    assert main([]) == 2
+    assert main(["--list-rules"]) == 0
+    listing = capsys.readouterr().out
+    for rule in RULES:
+        assert rule in listing
+
+
+def test_main_json_reports_every_rule_id(tmp_path, capsys) -> None:
+    """Acceptance check: one fixture file per rule, each id surfaces in --json."""
+    core = tmp_path / "repro" / "core"
+    algos = tmp_path / "repro" / "algorithms"
+    core.mkdir(parents=True)
+    algos.mkdir(parents=True)
+    (core / "r1.py").write_text("import random\nrandom.seed(1)\n")
+    (core / "r2.py").write_text(textwrap.dedent(PAIR_LOOP))
+    (core / "r3.py").write_text("import numpy as np\nx = np.zeros(3)\n")
+    (core / "r4.py").write_text("def f(items=[]):\n    return items\n")
+    (algos / "r5.py").write_text("def sample(data, seed=0):\n    return data\n")
+
+    exit_code = main(["--json", str(tmp_path)])
+    report = json.loads(capsys.readouterr().out)
+
+    assert exit_code == 1
+    assert report["files_checked"] == 5
+    seen = {finding["rule"] for finding in report["findings"]}
+    assert seen == {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005"}
+    by_rule = {f["rule"]: f for f in report["findings"]}
+    assert by_rule["RPR001"]["path"].endswith("r1.py")
+    assert by_rule["RPR005"]["path"].endswith("r5.py")
+
+
+def test_repository_is_lint_clean() -> None:
+    """The shipped tree must satisfy its own linter (mirrors the CI gate)."""
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[1]
+    findings, checked = lint_paths([root / "src", root / "tests"])
+    assert checked > 0
+    assert findings == [], "\n".join(f.format() for f in findings)
