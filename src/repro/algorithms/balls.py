@@ -9,9 +9,10 @@ ball ``S`` of unclustered nodes within ``radius`` of ``u`` is formed, and
 the cluster ``S + {u}`` is emitted when the *average* distance from ``u``
 to ``S`` is at most ``alpha`` — otherwise ``u`` becomes a singleton.
 
-``alpha = 1/4`` gives the proven 3-approximation; the paper reports that
-``alpha = 2/5`` produces better clusterings on their real datasets (it is
-less eager to open singletons).
+``alpha = 1/4`` (:data:`THEORY_ALPHA`) gives the proven 3-approximation;
+the paper reports that ``alpha = 0.4`` (:data:`PRACTICAL_ALPHA`) produces
+better clusterings on their real datasets (it is less eager to open
+singletons).
 """
 
 from __future__ import annotations

@@ -62,6 +62,12 @@ def furthest(
     # Initial centers: the furthest pair.
     flat = int(np.argmax(X))
     first, second = np.unravel_index(flat, X.shape)
+    if first == second:
+        # X is identically zero (e.g. identical input clusterings): argmax
+        # lands on the diagonal and would duplicate a center, splitting
+        # node 0 into a phantom cluster.  Any two distinct nodes are
+        # equally (non-)far apart, so pick the canonical pair.
+        first, second = 0, 1
     centers = [int(first), int(second)]
 
     while True:

@@ -43,7 +43,13 @@ _ASSIGN_BLOCK = 8192
 
 @dataclass
 class SamplingDetails:
-    """Diagnostics of one SAMPLING run (see :func:`sampling`)."""
+    """Diagnostics of one SAMPLING run (see :func:`sampling`).
+
+    On weighted (atom) inputs ``assigned_to_clusters`` and
+    ``leftover_singletons`` count *expanded* objects — each atom
+    contributes its multiplicity — so the two numbers are comparable
+    across collapsed and uncollapsed runs of the same data.
+    """
 
     sample_indices: np.ndarray
     sample_clusters: int
@@ -74,6 +80,7 @@ def sampling(
     max_singleton_subproblem: int = 4000,
     return_details: bool = False,
     weights: np.ndarray | None = None,
+    n_jobs: int | None = 1,
 ) -> Clustering | tuple[Clustering, SamplingDetails]:
     """Run the SAMPLING meta-algorithm.
 
@@ -101,6 +108,11 @@ def sampling(
         the sample is drawn proportionally to multiplicity (i.e. uniform
         over the underlying objects) and all cluster masses are weighted.
         Label-matrix path only.
+    n_jobs:
+        Worker count for the phase-1 sub-instance build and the phase-2
+        assignment loop (``None`` consults ``REPRO_JOBS``; see
+        :func:`repro.parallel.resolve_jobs`).  Any value is bit-identical
+        to the serial run.
     """
     if isinstance(data, CorrelationInstance):
         if weights is not None:
@@ -142,7 +154,10 @@ def sampling(
     details.sample_indices = sample
     if matrix is not None:
         sub = CorrelationInstance.from_label_matrix(
-            matrix[sample], p=p, weights=None if weights is None else weights[sample]
+            matrix[sample],
+            p=p,
+            weights=None if weights is None else weights[sample],
+            n_jobs=n_jobs,
         )
     else:
         sub = instance.subinstance(sample)
@@ -156,6 +171,8 @@ def sampling(
     rest = np.setdiff1d(np.arange(n), sample, assume_unique=True)
     if rest.size:
         if matrix is not None:
+            from ..parallel.build import parallel_assign
+
             tables = ClusterCountTables(
                 matrix,
                 sample,
@@ -163,9 +180,7 @@ def sampling(
                 p=p,
                 member_weights=None if weights is None else weights[sample],
             )
-            for start in range(0, rest.size, _ASSIGN_BLOCK):
-                block = rest[start : start + _ASSIGN_BLOCK]
-                labels[block] = tables.assign(block)
+            labels[rest] = parallel_assign(tables, rest, n_jobs=n_jobs, block_size=_ASSIGN_BLOCK)
         else:
             X = instance.X
             sizes = sample_clustering.sizes().astype(np.float64)
@@ -184,14 +199,29 @@ def sampling(
     # ------------------------------------------------------------------
     # Phase 3: collect all singletons and aggregate them among themselves.
     # ------------------------------------------------------------------
-    counts = np.bincount(labels[labels >= 0], minlength=sample_clustering.k)
-    singleton_clusters = np.flatnonzero(counts == 1)
+    # Cluster mass must be measured in expanded objects: on atom inputs a
+    # weight-w atom alone in its cluster represents w co-clustered
+    # duplicates, not a stray singleton to re-aggregate.
+    row_weights = weights if matrix is not None else instance.weights
+    attached = np.flatnonzero(labels >= 0)
+    if row_weights is None:
+        mass = np.bincount(labels[attached], minlength=sample_clustering.k)
+    else:
+        mass = np.bincount(
+            labels[attached], weights=row_weights[attached], minlength=sample_clustering.k
+        )
+    singleton_clusters = np.flatnonzero(mass == 1)
     is_singleton = labels < 0
     if singleton_clusters.size:
         is_singleton |= np.isin(labels, singleton_clusters)
     singles = np.flatnonzero(is_singleton)
-    details.assigned_to_clusters = int(rest.size - np.count_nonzero(labels[rest] < 0))
-    details.leftover_singletons = int(singles.size)
+    attached_rest = rest[labels[rest] >= 0] if rest.size else rest
+    if row_weights is None:
+        details.assigned_to_clusters = int(attached_rest.size)
+        details.leftover_singletons = int(singles.size)
+    else:
+        details.assigned_to_clusters = int(row_weights[attached_rest].sum())
+        details.leftover_singletons = int(row_weights[singles].sum())
 
     next_label = int(labels.max()) + 1 if np.any(labels >= 0) else 0
     if singles.size > 1:
@@ -205,6 +235,7 @@ def sampling(
                 rng=generator,
                 max_singleton_subproblem=max_singleton_subproblem,
                 weights=None if weights is None or matrix is None else weights[singles],
+                n_jobs=n_jobs,
             )
             labels[singles] = next_label + inner_result.labels
         else:
@@ -213,6 +244,7 @@ def sampling(
                     matrix[singles],
                     p=p,
                     weights=None if weights is None else weights[singles],
+                    n_jobs=n_jobs,
                 )
             else:
                 single_instance = instance.subinstance(singles)

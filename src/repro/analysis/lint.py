@@ -32,6 +32,11 @@ RPR004   No mutable default arguments, and no in-place mutation of
 RPR005   Public library functions taking randomness must follow the
          signature convention ``rng: np.random.Generator | int | None``
          (parameters named ``seed`` / ``random_state`` are rejected).
+RPR006   No direct ``multiprocessing`` pool construction outside
+         ``repro/parallel/`` — importing or calling ``Pool`` /
+         ``ThreadPool`` (including ``get_context(...).Pool``) elsewhere
+         bypasses the start-method policy and the shared-memory
+         conventions of :func:`repro.parallel.build.pool`.
 =======  ==============================================================
 
 Suppressions
@@ -73,6 +78,7 @@ RULES: dict[str, str] = {
     "RPR003": "array allocation without an explicit dtype in a kernel module",
     "RPR004": "mutable default argument / in-place mutation of Clustering.labels",
     "RPR005": "randomness parameter must follow `rng: np.random.Generator | int | None`",
+    "RPR006": "direct multiprocessing pool use outside repro.parallel; use repro.parallel.build.pool",
 }
 
 #: Subpackages of ``repro`` whose files RPR002 applies to.
@@ -80,8 +86,14 @@ PAIR_LOOP_PACKAGES = frozenset({"core", "algorithms", "stream"})
 
 #: Subpackages of ``repro`` counted as kernel modules for RPR003.
 KERNEL_PACKAGES = frozenset(
-    {"core", "stream", "algorithms", "cluster", "consensus", "baselines"}
+    {"core", "stream", "algorithms", "cluster", "consensus", "baselines", "parallel"}
 )
+
+#: The one subpackage allowed to construct multiprocessing pools (RPR006).
+POOL_PACKAGE = "parallel"
+
+#: ``multiprocessing`` attributes that construct worker pools.
+_POOL_CONSTRUCTORS = frozenset({"Pool", "ThreadPool"})
 
 #: numpy.random attributes that do NOT touch global RNG state.
 ALLOWED_NP_RANDOM = frozenset(
@@ -182,11 +194,17 @@ class _Checker(ast.NodeVisitor):
         self._in_library = subpackage is not None
         self._check_pair_loops = subpackage in PAIR_LOOP_PACKAGES
         self._check_alloc_dtype = subpackage in KERNEL_PACKAGES
+        self._check_pools = subpackage != POOL_PACKAGE
         self.findings: list[Finding] = []
         # Names the file binds to numpy, numpy.random, and stdlib random.
         self._numpy_aliases: set[str] = set()
         self._numpy_random_aliases: set[str] = set()
         self._stdlib_random_aliases: set[str] = set()
+        # Names bound to multiprocessing, its pool submodules, and
+        # get_context (RPR006).
+        self._mp_aliases: set[str] = set()
+        self._mp_pool_aliases: set[str] = set()
+        self._mp_get_context_aliases: set[str] = set()
         # For loops already reported (avoid duplicate RPR002 per nest).
         self._reported_pair_loops: set[int] = set()
 
@@ -215,6 +233,13 @@ class _Checker(ast.NodeVisitor):
                     self._numpy_aliases.add(bound)
             elif alias.name == "random":
                 self._stdlib_random_aliases.add(bound)
+            elif alias.name == "multiprocessing":
+                self._mp_aliases.add(bound)
+            elif alias.name.startswith("multiprocessing."):
+                if alias.asname and alias.name in ("multiprocessing.pool", "multiprocessing.dummy"):
+                    self._mp_pool_aliases.add(alias.asname)
+                else:
+                    self._mp_aliases.add(bound)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -240,6 +265,28 @@ class _Checker(ast.NodeVisitor):
                         f"`from random import {alias.name}` uses the global stdlib RNG; "
                         "thread a numpy Generator instead",
                     )
+        elif node.module == "multiprocessing" and self._check_pools:
+            for alias in node.names:
+                if alias.name in _POOL_CONSTRUCTORS:
+                    self._report(
+                        node,
+                        "RPR006",
+                        f"`from multiprocessing import {alias.name}` outside repro.parallel; "
+                        "use `repro.parallel.build.pool` instead",
+                    )
+                elif alias.name == "pool":
+                    self._mp_pool_aliases.add(alias.asname or "pool")
+                elif alias.name == "get_context":
+                    self._mp_get_context_aliases.add(alias.asname or "get_context")
+        elif node.module in ("multiprocessing.pool", "multiprocessing.dummy") and self._check_pools:
+            for alias in node.names:
+                if alias.name in _POOL_CONSTRUCTORS:
+                    self._report(
+                        node,
+                        "RPR006",
+                        f"`from {node.module} import {alias.name}` outside repro.parallel; "
+                        "use `repro.parallel.build.pool` instead",
+                    )
         self.generic_visit(node)
 
     # -- calls (RPR001 global RNG, RPR003 dtype, RPR004 mutators) ------
@@ -249,8 +296,56 @@ class _Checker(ast.NodeVisitor):
         if dotted is not None:
             self._check_rng_call(node, dotted)
             self._check_allocation(node, dotted)
+            self._check_pool_call(node, dotted)
+        self._check_context_pool_call(node)
         self._check_labels_mutator_call(node)
         self.generic_visit(node)
+
+    # -- RPR006: multiprocessing pool construction ---------------------
+
+    def _check_pool_call(self, node: ast.Call, dotted: tuple[str, ...]) -> None:
+        if not self._check_pools or dotted[-1] not in _POOL_CONSTRUCTORS:
+            return
+        flagged = (
+            (len(dotted) == 2 and dotted[0] in self._mp_aliases)
+            or (len(dotted) == 2 and dotted[0] in self._mp_pool_aliases)
+            or (
+                len(dotted) == 3
+                and dotted[0] in self._mp_aliases
+                and dotted[1] in ("pool", "dummy")
+            )
+        )
+        if flagged:
+            self._report(
+                node,
+                "RPR006",
+                f"`{'.'.join(dotted)}()` outside repro.parallel; "
+                "use `repro.parallel.build.pool` instead",
+            )
+
+    def _check_context_pool_call(self, node: ast.Call) -> None:
+        """The ``get_context(...).Pool(...)`` form of RPR006."""
+        func = node.func
+        if not (
+            self._check_pools
+            and isinstance(func, ast.Attribute)
+            and func.attr in _POOL_CONSTRUCTORS
+            and isinstance(func.value, ast.Call)
+        ):
+            return
+        inner = func.value.func
+        inner_dotted = _dotted_name(inner)
+        if inner_dotted is None or inner_dotted[-1] != "get_context":
+            return
+        if (len(inner_dotted) == 1 and inner_dotted[0] in self._mp_get_context_aliases) or (
+            len(inner_dotted) == 2 and inner_dotted[0] in self._mp_aliases
+        ):
+            self._report(
+                node,
+                "RPR006",
+                f"`get_context(...).{func.attr}()` outside repro.parallel; "
+                "use `repro.parallel.build.pool` instead",
+            )
 
     def _check_rng_call(self, node: ast.Call, dotted: tuple[str, ...]) -> None:
         if (
@@ -525,7 +620,7 @@ def lint_paths(paths: Sequence[str | Path]) -> tuple[list[Finding], int]:
 def main(argv: Iterable[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Repository-specific invariant linter (rules RPR001-RPR005).",
+        description="Repository-specific invariant linter (rules RPR001-RPR006).",
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument("--json", action="store_true", help="emit a JSON report on stdout")

@@ -6,6 +6,11 @@ Subcommands
     Cluster a categorical CSV (every column an input clustering) with any
     of the paper's algorithms and print the consensus summary — plus the
     per-cluster breakdown against a class column when one is present.
+``portfolio``
+    Run several algorithms concurrently against one shared instance
+    (:mod:`repro.parallel`) and report the argmin-cost consensus plus a
+    per-algorithm cost/time table.  ``--jobs`` (or the ``REPRO_JOBS``
+    environment variable) sets the worker count.
 ``stream``
     Replay the CSV's attribute columns one at a time through the
     streaming engine (:mod:`repro.stream`), printing per-update cost,
@@ -27,6 +32,7 @@ Examples
     repro-aggregate aggregate /tmp/votes.csv --method agglomerative
     repro-aggregate aggregate /tmp/votes.csv --method balls --alpha 0.4
     repro-aggregate aggregate big.csv --method sampling --inner furthest --sample-size 1000
+    repro-aggregate portfolio /tmp/votes.csv --jobs 4 --seed 7
     repro-aggregate stream /tmp/votes.csv --decay 0.99 --checkpoint /tmp/engine.npz
     repro-aggregate aggregate /tmp/votes.csv --method local-search --seed 7 --json
 """
@@ -41,6 +47,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from .core.aggregate import STOCHASTIC_METHODS, aggregate, available_methods
+from .parallel.portfolio import DEFAULT_PORTFOLIO, portfolio
 from .datasets import (
     CategoricalDataset,
     generate_census,
@@ -86,8 +93,37 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collapse duplicate rows into weighted atoms before clustering",
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the parallel backend "
+        "(default: REPRO_JOBS or serial; 0 = all cores)",
+    )
     run.add_argument("--json", action="store_true", help="emit a machine-readable JSON report")
     run.add_argument("--out", default=None, help="write consensus labels to this file")
+
+    port = subparsers.add_parser(
+        "portfolio", help="run several algorithms concurrently, keep the best"
+    )
+    port.add_argument("csv", help="input CSV with a header row; '?' marks missing values")
+    port.add_argument(
+        "--methods",
+        default=",".join(DEFAULT_PORTFOLIO),
+        help="comma-separated algorithm names to race (instance methods only)",
+    )
+    port.add_argument("--class-column", default="class", help="evaluation column name")
+    port.add_argument("--no-class", action="store_true", help="treat every column as data")
+    port.add_argument("--p", type=float, default=0.5, help="missing-value coin-flip probability")
+    port.add_argument("--seed", type=int, default=0, help="root seed for stochastic members")
+    port.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_JOBS or serial; 0 = all cores)",
+    )
+    port.add_argument("--json", action="store_true", help="emit a machine-readable JSON report")
+    port.add_argument("--out", default=None, help="write consensus labels to this file")
 
     stream = subparsers.add_parser(
         "stream", help="replay a CSV column-by-column through the streaming engine"
@@ -148,6 +184,7 @@ def _command_aggregate(args: argparse.Namespace) -> int:
         p=args.p,
         compute_lower_bound=compute_lb,
         collapse=args.collapse,
+        n_jobs=args.jobs,
         **params,
     )
 
@@ -209,6 +246,51 @@ def _command_aggregate(args: argparse.Namespace) -> int:
     if args.out:
         np.savetxt(args.out, result.clustering.labels, fmt="%d")
         print(f"labels written   {args.out}")
+    return 0
+
+
+def _command_portfolio(args: argparse.Namespace) -> int:
+    class_column = None if args.no_class else args.class_column
+    dataset = CategoricalDataset.from_csv(args.csv, class_column=class_column)
+    methods = tuple(name.strip() for name in args.methods.split(",") if name.strip())
+    result = portfolio(
+        dataset.label_matrix(), methods=methods, p=args.p, n_jobs=args.jobs, rng=args.seed
+    )
+    class_error = (
+        None if dataset.classes is None else classification_error(result.best, dataset.classes)
+    )
+
+    if args.json:
+        report = {
+            "dataset": {
+                "name": dataset.name,
+                "rows": dataset.n,
+                "attributes": dataset.m,
+                "missing": dataset.missing_count(),
+            },
+            "seed": args.seed,
+            "class_error": class_error,
+            **result.to_dict(),
+        }
+        print(json.dumps(report))
+    else:
+        print(f"dataset          {dataset.name}: {dataset.n} rows x {dataset.m} attributes, "
+              f"{dataset.missing_count()} missing")
+        print(f"jobs             {result.jobs}")
+        print("method           d(C)          k      time")
+        for run in result.runs:
+            marker = " *" if run.method == result.best_method else ""
+            print(f"{run.method:<16s} {run.cost:12,.2f}  {run.k:5d}  "
+                  f"{run.elapsed_seconds:.3f}s{marker}")
+        print(f"winner           {result.best_method}  (k={result.best.k}, "
+              f"total {result.elapsed_seconds:.3f}s)")
+        if class_error is not None:
+            print(f"class error      E_C = {class_error * 100:.1f}%")
+
+    if args.out:
+        np.savetxt(args.out, result.best.labels, fmt="%d")
+        if not args.json:
+            print(f"labels written   {args.out}")
     return 0
 
 
@@ -321,6 +403,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "aggregate":
         return _command_aggregate(args)
+    if args.command == "portfolio":
+        return _command_portfolio(args)
     if args.command == "stream":
         return _command_stream(args)
     if args.command == "generate":

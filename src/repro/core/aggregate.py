@@ -62,11 +62,12 @@ _INSTANCE_METHODS: dict[str, Callable[..., Clustering]] = {
     "exact": lambda instance, **kw: exact_optimum(instance, **kw)[0],
 }
 
-#: Algorithms that consume the label matrix directly.
-_MATRIX_METHODS = ("best", "sampling", "streaming")
+#: Algorithms that consume the label matrix directly (or, for
+#: ``"portfolio"``, dispatch a set of instance methods themselves).
+_MATRIX_METHODS = ("best", "portfolio", "sampling", "streaming")
 
 #: Methods whose output depends on an ``rng`` seed (CLI ``--seed`` plumbing).
-STOCHASTIC_METHODS = ("annealing", "genetic", "local-search", "sampling", "streaming")
+STOCHASTIC_METHODS = ("annealing", "genetic", "local-search", "portfolio", "sampling", "streaming")
 
 
 def available_methods() -> tuple[str, ...]:
@@ -143,6 +144,7 @@ def aggregate(
     p: float = 0.5,
     compute_lower_bound: bool = True,
     collapse: bool = False,
+    n_jobs: int | None = 1,
     **params: Any,
 ) -> AggregationResult:
     """Aggregate input clusterings into a consensus clustering.
@@ -159,8 +161,10 @@ def aggregate(
         ``"annealing"`` (Filkov-Skiena simulated annealing, §6),
         ``"genetic"`` (Cristofor-Simovici GA, §6), ``"sampling"``,
         ``"streaming"`` (replay the columns through a
-        :class:`~repro.stream.engine.StreamingAggregator`), or
-        ``"exact"``.
+        :class:`~repro.stream.engine.StreamingAggregator`),
+        ``"portfolio"`` (run several algorithms concurrently and keep the
+        argmin cost — :func:`repro.parallel.portfolio`; per-member
+        records land in ``result.params["portfolio"]``), or ``"exact"``.
     p:
         Missing-value coin-flip probability (Section 2 of the paper).
     compute_lower_bound:
@@ -172,6 +176,12 @@ def aggregate(
         duplicates together), then expand the consensus back.  A large
         speedup on categorical data with repeated rows; supported by all
         methods except ``"best"`` (which needs no speedup).
+    n_jobs:
+        Worker count for the shared-memory parallel backend
+        (:mod:`repro.parallel`): the instance build, SAMPLING's
+        sub-builds and assignment loop, and portfolio members all honour
+        it.  ``None`` consults ``REPRO_JOBS``; every value is
+        bit-identical to the serial run.
     **params:
         Forwarded to the algorithm (e.g. ``alpha=0.4`` for BALLS,
         ``inner="furthest"`` and ``sample_size=1000`` for SAMPLING,
@@ -203,13 +213,13 @@ def aggregate(
         from .atoms import collapse_duplicates
 
         atoms = collapse_duplicates(matrix)
-    if instance is None and method in _INSTANCE_METHODS:
+    if instance is None and (method in _INSTANCE_METHODS or method == "portfolio"):
         if atoms is not None:
             instance = CorrelationInstance.from_label_matrix(
-                atoms.matrix, p=p, weights=atoms.weights
+                atoms.matrix, p=p, weights=atoms.weights, n_jobs=n_jobs
             )
         else:
-            instance = CorrelationInstance.from_label_matrix(matrix, p=p)
+            instance = CorrelationInstance.from_label_matrix(matrix, p=p, n_jobs=n_jobs)
     build_seconds = time.perf_counter() - build_start
 
     start = time.perf_counter()
@@ -223,17 +233,32 @@ def aggregate(
         if matrix is None:
             raise ValueError("method 'best' needs the input clusterings, not a raw instance")
         clustering = best_clustering(matrix, p=p, **params)
+    elif method == "portfolio":
+        from ..parallel.portfolio import portfolio
+
+        portfolio_result = portfolio(instance, n_jobs=n_jobs, **params)
+        clustering = portfolio_result.best
+        if atoms is not None:
+            clustering = atoms.expand(clustering)
+        params["portfolio"] = portfolio_result.to_dict()
     elif method == "sampling":
         inner = resolve_inner(params.pop("inner", "agglomerative"))
         if atoms is not None:
             clustering = atoms.expand(
-                sampling(atoms.matrix, inner, p=p, weights=atoms.weights.astype(np.float64), **params)
+                sampling(
+                    atoms.matrix,
+                    inner,
+                    p=p,
+                    weights=atoms.weights.astype(np.float64),
+                    n_jobs=n_jobs,
+                    **params,
+                )
             )
         else:
             data = matrix if matrix is not None else instance
             if data is None:  # unreachable: inputs is always one of the three forms
                 raise ValueError("method 'sampling' needs clusterings or an instance")
-            clustering = sampling(data, inner, p=p, **params)
+            clustering = sampling(data, inner, p=p, n_jobs=n_jobs, **params)
     elif method == "streaming":
         if matrix is None:
             raise ValueError("method 'streaming' needs the input clusterings, not a raw instance")

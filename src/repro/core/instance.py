@@ -29,7 +29,12 @@ from ..analysis.contracts import check_distance_matrix, contracts_enabled
 from .labels import MISSING, as_label_matrix, validate_label_matrix
 from .partition import Clustering
 
-__all__ = ["CorrelationInstance", "disagreement_fractions", "pair_separation_block"]
+__all__ = [
+    "CorrelationInstance",
+    "disagreement_block",
+    "disagreement_fractions",
+    "pair_separation_block",
+]
 
 #: Row-block size for the blocked construction of the X matrix.
 _BLOCK_ROWS = 2048
@@ -75,11 +80,51 @@ def pair_separation_block(
     return (different & both_present).astype(dtype), both_present.astype(dtype)
 
 
+def disagreement_block(
+    matrix: np.ndarray,
+    start: int,
+    stop: int,
+    p: float = 0.5,
+    dtype: np.dtype | type = np.float64,
+    missing: str = "coin-flip",
+) -> np.ndarray:
+    """The normalized rows ``[start, stop)`` of the ``X`` matrix.
+
+    Sums :func:`pair_separation_block` over the ``m`` label columns and
+    applies the per-pair normalization of the selected missing-value
+    strategy.  Row blocks are independent and every element is accumulated
+    in the same column order regardless of how the rows are partitioned,
+    so any tiling of ``[0, n)`` into blocks — including the process-parallel
+    fan-out in :mod:`repro.parallel.build` — reassembles bit-identically to
+    the serial :func:`disagreement_fractions` build.  The diagonal is NOT
+    zeroed here; callers zero it once on the finished ``X``.
+    """
+    n, m = matrix.shape
+    np_dtype = dtype if isinstance(dtype, np.dtype) else np.dtype(dtype)
+    block = np.zeros((stop - start, n), dtype=np_dtype)
+    comparable = np.zeros((stop - start, n), dtype=np_dtype) if missing == "average" else None
+    for j in range(m):
+        separation, both_present = pair_separation_block(
+            matrix[:, j], start, stop, p=p, dtype=np_dtype, missing=missing
+        )
+        block += separation
+        if both_present is not None and comparable is not None:
+            comparable += both_present
+    if comparable is None:
+        block /= m
+    else:
+        with np.errstate(invalid="ignore", divide="ignore"):
+            block /= comparable
+        block[comparable == 0] = np_dtype.type(0.5)
+    return block
+
+
 def disagreement_fractions(
     matrix: np.ndarray,
     p: float = 0.5,
     dtype: np.dtype | type | None = None,
     missing: str = "coin-flip",
+    n_jobs: int | None = 1,
 ) -> np.ndarray:
     """The ``X`` matrix of pairwise disagreement fractions of a label matrix.
 
@@ -97,7 +142,12 @@ def disagreement_fractions(
       uninformative 0.5.
 
     Computed in row blocks to bound temporary memory; defaults to float64
-    up to 4096 objects and float32 beyond.
+    up to 4096 objects and float32 beyond.  ``n_jobs`` selects the
+    process-parallel row-block build of :mod:`repro.parallel.build`
+    (``None`` consults the ``REPRO_JOBS`` environment variable, see
+    :func:`repro.parallel.resolve_jobs`); any worker count produces a
+    bit-identical matrix, and small instances stay on the serial path
+    regardless.
     """
     validate_label_matrix(matrix)
     if missing not in ("coin-flip", "average"):
@@ -107,26 +157,18 @@ def disagreement_fractions(
     n, m = matrix.shape
     if dtype is None:
         dtype = np.float64 if n <= 4096 else np.float32
+    if n_jobs is None or n_jobs != 1:
+        from ..parallel.build import MIN_PARALLEL_ROWS, parallel_disagreement_fractions
+        from ..parallel.shm import resolve_jobs
+
+        if resolve_jobs(n_jobs) > 1 and n >= MIN_PARALLEL_ROWS:
+            return parallel_disagreement_fractions(
+                matrix, p=p, dtype=dtype, missing=missing, n_jobs=n_jobs
+            )
     X = np.zeros((n, n), dtype=dtype)
-    np_dtype = dtype if isinstance(dtype, np.dtype) else np.dtype(dtype)
     for start in range(0, n, _BLOCK_ROWS):
         stop = min(start + _BLOCK_ROWS, n)
-        block = np.zeros((stop - start, n), dtype=dtype)
-        comparable = np.zeros((stop - start, n), dtype=dtype) if missing == "average" else None
-        for j in range(m):
-            separation, both_present = pair_separation_block(
-                matrix[:, j], start, stop, p=p, dtype=dtype, missing=missing
-            )
-            block += separation
-            if both_present is not None:
-                comparable += both_present
-        if missing == "coin-flip":
-            block /= m
-        else:
-            with np.errstate(invalid="ignore", divide="ignore"):
-                block /= comparable
-            block[comparable == 0] = np_dtype.type(0.5)
-        X[start:stop] = block
+        X[start:stop] = disagreement_block(matrix, start, stop, p=p, dtype=dtype, missing=missing)
     np.fill_diagonal(X, 0.0)
     return X
 
@@ -197,6 +239,7 @@ class CorrelationInstance:
         dtype: np.dtype | type | None = None,
         missing: str = "coin-flip",
         weights: np.ndarray | None = None,
+        n_jobs: int | None = 1,
     ) -> "CorrelationInstance":
         """Build the aggregation instance of an ``(n, m)`` label matrix.
 
@@ -204,9 +247,12 @@ class CorrelationInstance:
         ``"average"`` the per-pair denominators differ, so the exact
         identity ``D(C) = m * d(C)`` holds only for ``"coin-flip"``.
         ``weights`` gives per-row multiplicities for duplicate-collapsed
-        (atom) instances — see :mod:`repro.core.atoms`.
+        (atom) instances — see :mod:`repro.core.atoms`.  ``n_jobs`` fans
+        the row-block build out over a shared-memory worker pool
+        (bit-identical to the serial build; ``None`` defers to the
+        ``REPRO_JOBS`` environment variable).
         """
-        X = disagreement_fractions(matrix, p=p, dtype=dtype, missing=missing)
+        X = disagreement_fractions(matrix, p=p, dtype=dtype, missing=missing, n_jobs=n_jobs)
         instance = cls(X, m=matrix.shape[1], validate=False, weights=weights)
         if (
             contracts_enabled()

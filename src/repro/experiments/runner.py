@@ -51,12 +51,15 @@ def categorical_table(
     limbo_params: tuple[tuple[int, float], ...] = (),
     rock_sample: int | None = None,
     instance: CorrelationInstance | None = None,
+    n_jobs: int | None = None,
 ) -> list[TableRow]:
     """Produce the rows of a Table 2/3-style comparison on one dataset.
 
     ``rock_params`` / ``limbo_params`` are ``(k, theta_or_phi)`` pairs; they
     match the parameter settings the paper cites from the original ROCK and
-    LIMBO papers.
+    LIMBO papers.  ``n_jobs`` selects the shared-memory parallel backend
+    for the instance build and the per-method runs (``None`` consults
+    ``REPRO_JOBS``); the rows are bit-identical for any worker count.
     """
     matrix = dataset.label_matrix()
     rows: list[TableRow] = []
@@ -74,7 +77,7 @@ def categorical_table(
         )
 
     if instance is None:
-        instance = CorrelationInstance.from_label_matrix(matrix)
+        instance = CorrelationInstance.from_label_matrix(matrix, n_jobs=n_jobs)
     rows.append(TableRow("Lower bound", None, None, instance.lower_bound(), 0.0))
 
     for method in methods:
@@ -82,7 +85,7 @@ def categorical_table(
         label = f"BALLS(a={balls_alpha})" if method == "balls" else method.upper()
         start = time.perf_counter()
         result = aggregate(instance if method not in ("best", "sampling") else matrix,
-                           method=method, compute_lower_bound=False, **params)
+                           method=method, compute_lower_bound=False, n_jobs=n_jobs, **params)
         elapsed = time.perf_counter() - start
         error = (
             classification_error(result.clustering, dataset.classes) * 100.0

@@ -1,0 +1,240 @@
+"""Portfolio aggregation: run several algorithms against one shared instance.
+
+The paper's experiments (§7) never commit to a single heuristic — every
+table runs BALLS, AGGLOMERATIVE, FURTHEST and LOCALSEARCH and reports the
+best objective.  :func:`portfolio` makes that pattern a first-class,
+parallel primitive: the ``X`` matrix is placed in shared memory once,
+every selected algorithm runs concurrently against a zero-copy view of
+it, and the argmin-cost clustering comes back together with a
+per-algorithm :class:`AlgorithmRun` record (cost, cluster count, wall
+time) for observability.
+
+Determinism: stochastic portfolio members get independent child
+generators spawned from the single ``rng`` argument, one per method
+*position*, so the result is bit-identical for any worker count —
+including the in-process serial path taken when one worker is requested.
+Ties on cost resolve to the earliest method in the requested order.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..core.aggregate import STOCHASTIC_METHODS, resolve_inner
+from ..core.instance import CorrelationInstance
+from ..core.labels import as_label_matrix
+from ..core.partition import Clustering
+from .build import pool
+from .shm import SharedNDArray, resolve_jobs
+
+__all__ = ["DEFAULT_PORTFOLIO", "AlgorithmRun", "PortfolioResult", "portfolio"]
+
+#: The paper's §7 line-up: every deterministic heuristic plus LOCALSEARCH.
+DEFAULT_PORTFOLIO = ("balls", "agglomerative", "furthest", "local-search")
+
+#: Per-worker state installed by the pool initializer (set in workers only).
+_WORKER: dict[str, Any] = {}
+
+
+@dataclass(frozen=True)
+class AlgorithmRun:
+    """Observability record for one portfolio member."""
+
+    method: str
+    cost: float
+    k: int
+    elapsed_seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly representation (CLI ``--json`` output)."""
+        return {
+            "method": self.method,
+            "cost": self.cost,
+            "k": self.k,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class PortfolioResult:
+    """Outcome of one :func:`portfolio` call.
+
+    ``best`` is the argmin-cost clustering over ``runs`` (ties break to
+    the earliest requested method); ``runs`` preserves the requested
+    method order regardless of completion order; ``jobs`` is the resolved
+    worker count actually used.
+    """
+
+    best: Clustering
+    best_method: str
+    cost: float
+    runs: tuple[AlgorithmRun, ...]
+    jobs: int
+    elapsed_seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly representation (clustering as a label list)."""
+        return {
+            "best_method": self.best_method,
+            "cost": self.cost,
+            "k": self.best.k,
+            "jobs": self.jobs,
+            "elapsed_seconds": self.elapsed_seconds,
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        losers = ", ".join(
+            f"{run.method}={run.cost:.2f}" for run in self.runs if run.method != self.best_method
+        )
+        line = f"portfolio winner={self.best_method}  d(C)={self.cost:.2f}  k={self.best.k}"
+        if losers:
+            line += f"  ({losers})"
+        return line
+
+
+def _method_specs(
+    methods: Sequence[str],
+    params: dict[str, dict[str, Any]] | None,
+    rng: np.random.Generator | int | None,
+) -> list[tuple[str, dict[str, Any], np.random.Generator | None]]:
+    """Validate methods and attach per-position kwargs and child generators."""
+    if not methods:
+        raise ValueError("portfolio needs at least one method")
+    params = dict(params or {})
+    unknown = set(params) - set(methods)
+    if unknown:
+        raise ValueError(f"params given for methods not in the portfolio: {sorted(unknown)}")
+    for name in methods:
+        resolve_inner(name)  # raises on non-instance methods ("best", "sampling", ...)
+    # One independent child generator per *position* (not per name), spawned
+    # before any execution — the seeds cannot depend on scheduling order.
+    if isinstance(rng, np.random.Generator):
+        children = rng.spawn(len(methods))
+    else:
+        children = [
+            np.random.default_rng(s) for s in np.random.SeedSequence(rng).spawn(len(methods))
+        ]
+    return [
+        (name, dict(params.get(name, {})), children[i] if name in STOCHASTIC_METHODS else None)
+        for i, name in enumerate(methods)
+    ]
+
+
+def _execute(
+    instance: CorrelationInstance,
+    spec: tuple[str, dict[str, Any], np.random.Generator | None],
+) -> tuple[np.ndarray, float, int, float]:
+    """Run one portfolio member; shared by the serial and worker paths."""
+    name, kwargs, child_rng = spec
+    algorithm = resolve_inner(name)
+    if child_rng is not None:
+        kwargs = {"rng": child_rng, **kwargs}
+    start = time.perf_counter()
+    clustering = algorithm(instance, **kwargs)
+    elapsed = time.perf_counter() - start
+    cost = instance.cost(clustering)
+    return clustering.labels, cost, clustering.k, elapsed
+
+
+def _init_portfolio_worker(
+    descriptor: tuple[str, tuple[int, ...], str],
+    m: int | None,
+    weights: np.ndarray | None,
+    specs: list[tuple[str, dict[str, Any], np.random.Generator | None]],
+) -> None:
+    shared = SharedNDArray.attach(descriptor)
+    _WORKER["shared"] = shared  # keep the mapping alive for the pool's lifetime
+    _WORKER["instance"] = CorrelationInstance(shared.array, m=m, validate=False, weights=weights)
+    _WORKER["specs"] = specs
+
+
+def _run_portfolio_member(index: int) -> tuple[int, np.ndarray, float, int, float]:
+    labels, cost, k, elapsed = _execute(_WORKER["instance"], _WORKER["specs"][index])
+    return (index, labels, cost, k, elapsed)
+
+
+def portfolio(
+    inputs: Sequence[Clustering] | np.ndarray | CorrelationInstance,
+    methods: Sequence[str] = DEFAULT_PORTFOLIO,
+    p: float = 0.5,
+    n_jobs: int | None = None,
+    rng: np.random.Generator | int | None = None,
+    params: dict[str, dict[str, Any]] | None = None,
+) -> PortfolioResult:
+    """Run ``methods`` concurrently on one instance, return the argmin cost.
+
+    Parameters
+    ----------
+    inputs:
+        Input clusterings, an ``(n, m)`` label matrix, or a prebuilt
+        :class:`CorrelationInstance`.  Label inputs are converted once
+        (honouring ``n_jobs`` for the parallel matrix build) and every
+        portfolio member sees the same shared, read-only ``X``.
+    methods:
+        Instance-consuming algorithm names (see
+        :func:`repro.core.aggregate.resolve_inner`); matrix-level methods
+        like ``"sampling"`` or ``"best"`` are rejected.  A method may be
+        listed more than once — each position draws its own child
+        generator, so repeated stochastic entries act as independent
+        restarts.
+    p:
+        Missing-value coin-flip probability for the instance build.
+    n_jobs:
+        Worker count; ``None`` consults ``REPRO_JOBS``, ``<= 0`` means all
+        cores (see :func:`repro.parallel.resolve_jobs`).  Results are
+        bit-identical for every value.
+    rng:
+        Root seed or generator for the stochastic members; one child
+        generator is spawned per method position before anything runs, so
+        the outcome never depends on scheduling.
+    params:
+        Optional per-method extra kwargs, e.g. ``{"balls": {"alpha": 0.4}}``.
+    """
+    if isinstance(inputs, CorrelationInstance):
+        instance = inputs
+    else:
+        matrix = inputs if isinstance(inputs, np.ndarray) else as_label_matrix(inputs)
+        instance = CorrelationInstance.from_label_matrix(matrix, p=p, n_jobs=n_jobs)
+    specs = _method_specs(methods, params, rng)
+    jobs = min(resolve_jobs(n_jobs), len(specs))
+
+    start = time.perf_counter()
+    if jobs <= 1:
+        outcomes = [(i, *_execute(instance, spec)) for i, spec in enumerate(specs)]
+    else:
+        with SharedNDArray.create(instance.X.shape, instance.X.dtype) as shared:
+            shared.array[...] = instance.X
+            workers = pool(
+                jobs,
+                initializer=_init_portfolio_worker,
+                initargs=(shared.descriptor, instance.m, instance.weights, specs),
+            )
+            try:
+                outcomes = workers.map(_run_portfolio_member, range(len(specs)))
+            finally:
+                workers.close()
+                workers.join()
+    elapsed = time.perf_counter() - start
+
+    outcomes.sort(key=lambda outcome: outcome[0])
+    runs = tuple(
+        AlgorithmRun(method=specs[i][0], cost=cost, k=k, elapsed_seconds=run_elapsed)
+        for i, _, cost, k, run_elapsed in outcomes
+    )
+    best_index = min(range(len(runs)), key=lambda i: (runs[i].cost, i))
+    best_labels = outcomes[best_index][1]
+    return PortfolioResult(
+        best=Clustering(best_labels),
+        best_method=runs[best_index].method,
+        cost=runs[best_index].cost,
+        runs=runs,
+        jobs=jobs,
+        elapsed_seconds=elapsed,
+    )

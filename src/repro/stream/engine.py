@@ -62,7 +62,7 @@ class StreamUpdate:
 
     index: int  #: 1-based update number
     cost: float  #: correlation cost d(C) of the consensus after this update
-    disagreements: float  #: aggregation objective D(C) = count * d(C)
+    disagreements: float  #: effective-weight objective effective_m * d(C) (= count * d(C) at decay=1)
     k: int  #: clusters in the consensus
     moves: int  #: improving relocations made by the refinement pass
     sweeps: int  #: local-search sweeps (0 on the sampling path)
@@ -121,6 +121,13 @@ class StreamingAggregator:
         Seed or generator for the stochastic pieces (sweep order
         shuffling, sampling); a single generator is threaded through the
         engine's lifetime so replays are reproducible.
+    incremental:
+        Adopt an existing :class:`IncrementalCorrelationInstance` (with
+        its accumulated counts) instead of allocating a fresh one — the
+        checkpoint-restore path uses this to avoid a dead O(n²)
+        allocation.  Must cover exactly ``n`` objects; ``p``, ``missing``,
+        ``decay`` and ``dtype`` are taken from the adopted instance and
+        must not be passed alongside it.
 
     Examples
     --------
@@ -146,14 +153,27 @@ class StreamingAggregator:
         max_sweeps: int = 200,
         resync_every: int = 256,
         rng: np.random.Generator | int | None = None,
+        incremental: IncrementalCorrelationInstance | None = None,
     ) -> None:
         if sampling_threshold < 1:
             raise ValueError("sampling_threshold must be positive")
         if resync_every < 1:
             raise ValueError("resync_every must be positive")
-        self._incremental = IncrementalCorrelationInstance(
-            n, p=p, missing=missing, decay=decay, dtype=dtype
-        )
+        if incremental is not None:
+            if incremental.n != n:
+                raise ValueError(
+                    f"adopted instance covers {incremental.n} objects, engine expects {n}"
+                )
+            if (p, missing, decay, dtype) != (0.5, "coin-flip", 1.0, None):
+                raise ValueError(
+                    "p/missing/decay/dtype come from the adopted instance; "
+                    "do not pass them alongside incremental="
+                )
+            self._incremental = incremental
+        else:
+            self._incremental = IncrementalCorrelationInstance(
+                n, p=p, missing=missing, decay=decay, dtype=dtype
+            )
         self._sampling_threshold = int(sampling_threshold)
         self._sample_size = sample_size
         self._max_sweeps = int(max_sweeps)
@@ -212,8 +232,18 @@ class StreamingAggregator:
         return self._incremental.instance().cost(self.consensus)
 
     def disagreements(self) -> float:
-        """Aggregation objective ``D(C) = count · d(C)`` of the consensus."""
-        return self.count * self.cost()
+        """Effective-weight aggregation objective of the consensus.
+
+        Returns ``effective_m · d(C)`` where ``effective_m`` is the
+        decayed total weight ``Σ decay^age``.  With ``decay == 1`` this is
+        exactly the paper's ``D(C) = count · d(C)``; with decay it is the
+        recency-weighted analogue — the identity against the raw
+        observation count no longer holds on a decayed instance, so the
+        raw-count product is deliberately **not** reported.  Multiply
+        :meth:`cost` by :attr:`count <IncrementalCorrelationInstance.count>`
+        yourself if you want the (biased) unweighted figure.
+        """
+        return self._incremental.effective_m * self.cost()
 
     def stats(self) -> StreamStats:
         """Aggregate the update history into a :class:`StreamStats`."""
@@ -313,7 +343,7 @@ class StreamingAggregator:
         update = StreamUpdate(
             index=self._incremental.count,
             cost=cost,
-            disagreements=self._incremental.count * cost,
+            disagreements=self._incremental.effective_m * cost,
             k=self._consensus.k,
             moves=moves,
             sweeps=sweeps,
@@ -365,8 +395,8 @@ class StreamingAggregator:
             sample_size=config["sample_size"],
             max_sweeps=config["max_sweeps"],
             resync_every=config.get("resync_every", 256),
+            incremental=incremental,
         )
-        engine._incremental = incremental
         consensus = state["consensus"]
         engine._consensus = None if consensus is None else Clustering(np.asarray(consensus))
         engine._rng.bit_generator.state = state["rng_state"]

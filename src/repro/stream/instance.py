@@ -64,6 +64,30 @@ class IncrementalCorrelationInstance:
         decay: float = 1.0,
         dtype: np.dtype | type | None = None,
     ) -> None:
+        self._configure(n, p, missing, decay, dtype)
+        # Running sum of per-pair separation terms (decayed).
+        self._separation = np.zeros((n, n), dtype=self._dtype)
+        # For "average": decayed count of commonly-concrete pairs; for
+        # "coin-flip" the per-pair denominator is the scalar weight below.
+        self._comparable = (
+            np.zeros((n, n), dtype=self._dtype) if missing == "average" else None
+        )
+        self._weight = 0.0  # Σ decay^age, == count when decay == 1
+        self._count = 0  # raw number of observed clusterings
+
+    def _configure(
+        self,
+        n: int,
+        p: float,
+        missing: str,
+        decay: float,
+        dtype: np.dtype | type | None,
+    ) -> None:
+        """Validate and set the scalar configuration (no array allocation).
+
+        Shared by ``__init__`` and :meth:`from_state`, which adopts
+        checkpointed accumulators instead of allocating zeroed ones.
+        """
         if n < 1:
             raise ValueError("an instance needs at least one object")
         if missing not in ("coin-flip", "average"):
@@ -79,15 +103,6 @@ class IncrementalCorrelationInstance:
         self._missing = missing
         self._decay = float(decay)
         self._dtype = np.dtype(dtype)
-        # Running sum of per-pair separation terms (decayed).
-        self._separation = np.zeros((n, n), dtype=self._dtype)
-        # For "average": decayed count of commonly-concrete pairs; for
-        # "coin-flip" the per-pair denominator is the scalar weight below.
-        self._comparable = (
-            np.zeros((n, n), dtype=self._dtype) if missing == "average" else None
-        )
-        self._weight = 0.0  # Σ decay^age, == count when decay == 1
-        self._count = 0  # raw number of observed clusterings
 
     # ------------------------------------------------------------------
     # Accessors
@@ -221,19 +236,26 @@ class IncrementalCorrelationInstance:
 
     @classmethod
     def from_state(cls, state: dict[str, Any]) -> "IncrementalCorrelationInstance":
-        """Rebuild an instance from :meth:`state` output (inverse operation)."""
+        """Rebuild an instance from :meth:`state` output (inverse operation).
+
+        The checkpointed accumulators are adopted directly (one copy each,
+        to decouple from the caller's arrays) — no zeroed O(n²) matrices
+        are allocated and thrown away on the restore path.
+        """
         config = state["config"]
-        inst = cls(
+        inst = cls.__new__(cls)
+        inst._configure(
             config["n"],
-            p=config["p"],
-            missing=config["missing"],
-            decay=config["decay"],
-            dtype=np.dtype(config["dtype"]),
+            config["p"],
+            config["missing"],
+            config["decay"],
+            np.dtype(config["dtype"]),
         )
         separation = np.asarray(state["separation"], dtype=inst._dtype)
         if separation.shape != (inst._n, inst._n):
             raise ValueError("checkpointed separation counts do not match n")
         inst._separation = separation.copy()
+        inst._comparable = None
         if config["missing"] == "average":
             comparable = state["comparable"]
             if comparable is None:

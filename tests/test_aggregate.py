@@ -20,6 +20,7 @@ ALL_METHODS = (
     "genetic",
     "sampling",
     "streaming",
+    "portfolio",
     "exact",
 )
 

@@ -61,6 +61,17 @@ class TestFurthest:
         _, instance = random_aggregation_instance(n=8, m=3, k=3, seed=5)
         assert furthest(instance, force_k=1).k == 1
 
+    def test_all_zero_matrix_force_k_uses_distinct_centers(self):
+        # Regression: on an identically-zero X, np.argmax lands on the
+        # diagonal (flat index 0) and used to install node 0 as *both*
+        # initial centers, splitting it off as a phantom cluster.  With
+        # distinct canonical centers node 0 stays with the bulk and the
+        # forced second cluster is the second center's own singleton.
+        matrix = np.zeros((6, 3), dtype=np.int32)
+        instance = CorrelationInstance.from_label_matrix(matrix)
+        result = furthest(instance, force_k=2)
+        assert result == Clustering([0, 1, 0, 0, 0, 0])
+
     def test_stops_on_first_non_improvement(self):
         # With all pairwise distances below 1/2, splitting anything hurts,
         # so FURTHEST must return the single cluster.

@@ -102,6 +102,46 @@ class TestDetails:
         assert result.clustering == Clustering(truth)
         assert result.disagreements is not None  # m known from the instance
 
+    def test_heavy_atom_alone_is_not_a_stray_singleton(self):
+        # Regression: a collapsed duplicate row of multiplicity w alone in
+        # its cluster represents w co-clustered objects, not a stray
+        # singleton — phase 3 must measure cluster mass in effective
+        # weight, not in atom rows.
+        matrix = np.array(
+            [[0, 0, 0], [0, 0, 1], [1, 1, 2], [1, 1, 3], [2, 2, 4]],
+            dtype=np.int32,
+        )
+        weights = np.array([3.0, 3.0, 3.0, 3.0, 5.0])
+        result, details = sampling(
+            matrix,
+            agglomerative,
+            sample_size=5,
+            rng=0,
+            weights=weights,
+            return_details=True,
+        )
+        assert result.k == 3
+        assert result.labels[4] not in result.labels[:4]  # heavy atom kept apart
+        assert details.leftover_singletons == 0
+
+    def test_weight_one_atom_alone_still_counts_as_singleton(self):
+        # The same shape with a genuine weight-1 stray: mass == 1, so the
+        # round-up sees it, and the details count it by weight.
+        matrix = np.array(
+            [[0, 0, 0], [0, 0, 1], [1, 1, 2], [1, 1, 3], [2, 2, 4]],
+            dtype=np.int32,
+        )
+        weights = np.array([3.0, 3.0, 3.0, 3.0, 1.0])
+        _, details = sampling(
+            matrix,
+            agglomerative,
+            sample_size=5,
+            rng=0,
+            weights=weights,
+            return_details=True,
+        )
+        assert details.leftover_singletons == 1
+
     def test_recursion_on_large_singleton_set(self):
         truth, matrix = planted_instance(n=500, m=6, groups=4, flip=0.1, seed=8)
         result, details = sampling(

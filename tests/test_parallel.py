@@ -1,0 +1,334 @@
+"""Tests for the shared-memory parallel backend (repro.parallel)."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import aggregate
+from repro.cli import main
+from repro.core.atoms import collapse_duplicates
+from repro.core.instance import CorrelationInstance, disagreement_fractions
+from repro.core.labels import MISSING
+from repro.core.objective import ClusterCountTables
+from repro.datasets import generate_votes
+from repro.parallel import (
+    DEFAULT_PORTFOLIO,
+    JOBS_ENV_VAR,
+    SharedNDArray,
+    parallel_assign,
+    parallel_disagreement_fractions,
+    portfolio,
+    resolve_jobs,
+)
+
+
+class TestResolveJobs:
+    def test_explicit_value_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "8")
+        assert resolve_jobs(3) == 3
+
+    def test_none_consults_environment(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "5")
+        assert resolve_jobs(None) == 5
+
+    def test_unset_environment_means_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(None) == 1
+        monkeypatch.setenv(JOBS_ENV_VAR, "  ")
+        assert resolve_jobs(None) == 1
+
+    def test_invalid_environment_rejected(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "many")
+        with pytest.raises(ValueError, match=JOBS_ENV_VAR):
+            resolve_jobs(None)
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_nonpositive_means_all_cores(self, value):
+        import os
+
+        assert resolve_jobs(value) == max(1, os.cpu_count() or 1)
+
+    def test_nonpositive_environment_means_all_cores(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv(JOBS_ENV_VAR, "0")
+        assert resolve_jobs(None) == max(1, os.cpu_count() or 1)
+
+
+class TestSharedNDArray:
+    def test_create_attach_round_trip(self):
+        data = np.arange(12, dtype=np.float64).reshape(3, 4)
+        with SharedNDArray.create(data.shape, data.dtype) as owner:
+            owner.array[...] = data
+            view = SharedNDArray.attach(owner.descriptor)
+            try:
+                np.testing.assert_array_equal(view.array, data)
+                # Same physical pages: a write through one side is seen
+                # by the other without any copying.
+                view.array[1, 2] = -7.0
+                assert owner.array[1, 2] == -7.0
+            finally:
+                view.close()
+
+    def test_descriptor_is_plain_data(self):
+        with SharedNDArray.create((2, 5), np.float32) as shared:
+            name, shape, dtype_name = shared.descriptor
+            assert isinstance(name, str)
+            assert shape == (2, 5)
+            assert dtype_name == "float32"
+            assert "owner" in repr(shared)
+
+    def test_owner_close_unlinks_segment(self):
+        shared = SharedNDArray.create((4,), np.int64)
+        descriptor = shared.descriptor
+        shared.close()
+        with pytest.raises(FileNotFoundError):
+            SharedNDArray.attach(descriptor)
+
+
+def build_matrix(n, m, k, seed, missing_rate=0.0):
+    """A random (n, m) label matrix, optionally with missing entries."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(0, k, size=(n, m)).astype(np.int32)
+    if missing_rate > 0.0:
+        matrix[rng.random((n, m)) < missing_rate] = MISSING
+        # Validation rejects all-missing columns; re-anchor any.
+        for j in np.flatnonzero(np.all(matrix == MISSING, axis=0)):
+            matrix[0, j] = 0
+    return matrix
+
+
+build_problems = st.tuples(
+    st.integers(min_value=2, max_value=24),  # n
+    st.integers(min_value=1, max_value=5),  # m
+    st.integers(min_value=1, max_value=4),  # k
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.sampled_from([0.0, 0.25]),  # missing rate
+)
+
+
+class TestParallelBuild:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        problem=build_problems,
+        missing=st.sampled_from(["coin-flip", "average"]),
+        dtype=st.sampled_from([np.float64, np.float32]),
+    )
+    def test_bit_identical_to_serial(self, problem, missing, dtype):
+        """The tentpole guarantee: any worker count, any row tiling."""
+        n, m, k, seed, rate = problem
+        matrix = build_matrix(n, m, k, seed, missing_rate=rate)
+        serial = disagreement_fractions(matrix, dtype=dtype, missing=missing, n_jobs=1)
+        fanned = parallel_disagreement_fractions(
+            matrix, dtype=dtype, missing=missing, n_jobs=3, block_rows=3
+        )
+        assert fanned.dtype == serial.dtype
+        np.testing.assert_array_equal(fanned, serial)
+
+    def test_bit_identical_with_nondefault_p(self):
+        matrix = build_matrix(30, 4, 3, seed=5, missing_rate=0.3)
+        serial = disagreement_fractions(matrix, p=0.2, n_jobs=1)
+        fanned = parallel_disagreement_fractions(matrix, p=0.2, n_jobs=2, block_rows=7)
+        np.testing.assert_array_equal(fanned, serial)
+
+    def test_single_block_falls_back_to_serial(self):
+        matrix = build_matrix(10, 3, 3, seed=0)
+        X = parallel_disagreement_fractions(matrix, n_jobs=4)  # one default block
+        np.testing.assert_array_equal(X, disagreement_fractions(matrix, n_jobs=1))
+
+    def test_rejects_bad_parameters(self):
+        matrix = build_matrix(6, 2, 2, seed=0)
+        with pytest.raises(ValueError, match="missing"):
+            parallel_disagreement_fractions(matrix, missing="nope")
+        with pytest.raises(ValueError, match="probability"):
+            parallel_disagreement_fractions(matrix, p=1.5)
+        with pytest.raises(ValueError, match="block_rows"):
+            parallel_disagreement_fractions(matrix, block_rows=0)
+
+    def test_small_instances_stay_serial(self, monkeypatch):
+        """The MIN_PARALLEL_ROWS floor: tiny builds never pay pool start-up."""
+        import repro.parallel.build as build_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("parallel build dispatched below the size floor")
+
+        monkeypatch.setattr(build_module, "parallel_disagreement_fractions", boom)
+        matrix = build_matrix(40, 3, 3, seed=1)
+        X = disagreement_fractions(matrix, n_jobs=4)
+        np.testing.assert_array_equal(X, disagreement_fractions(matrix, n_jobs=1))
+
+    def test_from_label_matrix_honours_n_jobs(self, monkeypatch):
+        """Above the floor, n_jobs>1 routes through the parallel build."""
+        import repro.parallel.build as build_module
+
+        matrix = build_matrix(64, 3, 3, seed=2)
+        monkeypatch.setattr(build_module, "MIN_PARALLEL_ROWS", 32)
+        serial = CorrelationInstance.from_label_matrix(matrix, n_jobs=1)
+        fanned = CorrelationInstance.from_label_matrix(matrix, n_jobs=2)
+        np.testing.assert_array_equal(fanned.X, serial.X)
+        assert fanned.m == serial.m
+
+
+class TestParallelAssign:
+    def test_matches_serial_assign(self):
+        matrix = generate_votes(n=200, rng=0).label_matrix()
+        sample = np.arange(0, 200, 4)
+        sub = CorrelationInstance.from_label_matrix(matrix[sample])
+        from repro.algorithms.agglomerative import agglomerative
+
+        clustering = agglomerative(sub)
+        tables = ClusterCountTables(matrix, sample, clustering.labels)
+        rest = np.setdiff1d(np.arange(200), sample)
+        serial = tables.assign(rest)
+        for jobs, block in ((1, 7), (2, 7), (3, 16)):
+            fanned = parallel_assign(tables, rest, n_jobs=jobs, block_size=block)
+            np.testing.assert_array_equal(fanned, serial)
+
+    def test_empty_rows(self):
+        matrix = build_matrix(12, 3, 3, seed=0)
+        sample = np.arange(12)
+        sub = CorrelationInstance.from_label_matrix(matrix)
+        from repro.algorithms.agglomerative import agglomerative
+
+        tables = ClusterCountTables(matrix, sample, agglomerative(sub).labels)
+        result = parallel_assign(tables, np.empty(0, dtype=np.int64), n_jobs=2)
+        assert result.size == 0 and result.dtype == np.int64
+
+    def test_rejects_bad_block_size(self):
+        matrix = build_matrix(8, 2, 2, seed=0)
+        sub = CorrelationInstance.from_label_matrix(matrix)
+        from repro.algorithms.agglomerative import agglomerative
+
+        tables = ClusterCountTables(matrix, np.arange(8), agglomerative(sub).labels)
+        with pytest.raises(ValueError, match="block_size"):
+            parallel_assign(tables, np.arange(8), block_size=0)
+
+
+class TestPortfolio:
+    def test_parallel_matches_serial(self):
+        matrix = generate_votes(n=120, rng=0).label_matrix()
+        serial = portfolio(matrix, rng=7, n_jobs=1)
+        fanned = portfolio(matrix, rng=7, n_jobs=3)
+        assert fanned.best_method == serial.best_method
+        assert fanned.cost == serial.cost
+        np.testing.assert_array_equal(fanned.best.labels, serial.best.labels)
+        assert [run.cost for run in fanned.runs] == [run.cost for run in serial.runs]
+        assert [run.method for run in fanned.runs] == list(DEFAULT_PORTFOLIO)
+        assert serial.jobs == 1 and fanned.jobs == 3
+
+    def test_parallel_matches_serial_on_weighted_atoms(self):
+        matrix = generate_votes(n=150, rng=1).label_matrix()
+        atoms = collapse_duplicates(matrix)
+        instance = CorrelationInstance.from_label_matrix(
+            atoms.matrix, weights=atoms.weights
+        )
+        serial = portfolio(instance, rng=3, n_jobs=1)
+        fanned = portfolio(instance, rng=3, n_jobs=2)
+        assert fanned.cost == serial.cost
+        np.testing.assert_array_equal(fanned.best.labels, serial.best.labels)
+        assert [run.cost for run in fanned.runs] == [run.cost for run in serial.runs]
+
+    def test_repeated_stochastic_entries_are_independent_restarts(self):
+        matrix = generate_votes(n=80, rng=2).label_matrix()
+        methods = ("local-search", "local-search", "local-search")
+        serial = portfolio(matrix, methods=methods, rng=11, n_jobs=1)
+        fanned = portfolio(matrix, methods=methods, rng=11, n_jobs=2)
+        assert [run.cost for run in fanned.runs] == [run.cost for run in serial.runs]
+        np.testing.assert_array_equal(fanned.best.labels, serial.best.labels)
+
+    def test_finds_figure1_optimum(self, figure1_clusterings, figure1_optimum):
+        result = portfolio(figure1_clusterings, rng=0)
+        assert result.best == figure1_optimum
+        assert result.cost == pytest.approx(5.0 / 3.0)
+        assert result.best_method in DEFAULT_PORTFOLIO
+        assert "winner" in result.summary()
+        report = result.to_dict()
+        assert report["best_method"] == result.best_method
+        assert len(report["runs"]) == len(DEFAULT_PORTFOLIO)
+
+    def test_per_method_params_forwarded(self, figure1_clusterings):
+        result = portfolio(
+            figure1_clusterings,
+            methods=("balls",),
+            params={"balls": {"alpha": 0.4}},
+            rng=0,
+        )
+        assert result.runs[0].method == "balls"
+
+    def test_rejects_bad_configuration(self, figure1_clusterings):
+        with pytest.raises(ValueError, match="at least one"):
+            portfolio(figure1_clusterings, methods=())
+        with pytest.raises(ValueError, match="unknown inner"):
+            portfolio(figure1_clusterings, methods=("sampling",))
+        with pytest.raises(ValueError, match="not in the portfolio"):
+            portfolio(
+                figure1_clusterings, methods=("balls",), params={"furthest": {}}
+            )
+
+    def test_aggregate_method_registered(self):
+        matrix = generate_votes(n=100, rng=0).label_matrix()
+        serial = aggregate(matrix, method="portfolio", rng=5, n_jobs=1)
+        fanned = aggregate(matrix, method="portfolio", rng=5, n_jobs=2)
+        assert serial.clustering == fanned.clustering
+        record = serial.params["portfolio"]
+        assert record["best_method"] in DEFAULT_PORTFOLIO
+        assert len(record["runs"]) == len(DEFAULT_PORTFOLIO)
+        assert serial.cost == pytest.approx(record["cost"])
+
+
+class TestSamplingNJobs:
+    def test_sampling_bit_identical_across_jobs(self):
+        from repro.algorithms.agglomerative import agglomerative
+        from repro.algorithms.sampling import sampling
+
+        matrix = generate_votes(n=300, rng=0).label_matrix()
+        serial = sampling(matrix, agglomerative, sample_size=60, rng=9, n_jobs=1)
+        fanned = sampling(matrix, agglomerative, sample_size=60, rng=9, n_jobs=2)
+        assert serial == fanned
+
+
+class TestCliPortfolio:
+    @pytest.fixture
+    def votes_csv(self, tmp_path):
+        path = tmp_path / "votes.csv"
+        generate_votes(n=100, rng=0).to_csv(path)
+        return str(path)
+
+    def test_table_output(self, votes_csv, capsys):
+        assert main(["portfolio", votes_csv, "--seed", "3", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        for method in DEFAULT_PORTFOLIO:
+            assert method in out
+        assert "*" in out  # winner marker
+
+    def test_json_output_matches_serial(self, votes_csv, capsys, tmp_path):
+        out_path = tmp_path / "labels.txt"
+        assert (
+            main(
+                [
+                    "portfolio",
+                    votes_csv,
+                    "--seed",
+                    "3",
+                    "--jobs",
+                    "2",
+                    "--json",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["jobs"] == 2
+        assert {run["method"] for run in report["runs"]} == set(DEFAULT_PORTFOLIO)
+
+        labels = np.loadtxt(out_path, dtype=np.int64)
+        dataset_matrix = generate_votes(n=100, rng=0).label_matrix()
+        serial = portfolio(dataset_matrix, rng=3, n_jobs=1)
+        assert report["best_method"] == serial.best_method
+        assert report["cost"] == pytest.approx(serial.cost)
+        np.testing.assert_array_equal(labels, serial.best.labels)

@@ -278,6 +278,66 @@ def test_syntax_error_reports_rpr000() -> None:
 
 
 # ---------------------------------------------------------------------------
+# RPR006: multiprocessing pools outside repro.parallel
+# ---------------------------------------------------------------------------
+
+PARALLEL = "src/repro/parallel/snippet.py"
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "from multiprocessing import Pool\n",
+        "from multiprocessing.pool import Pool\n",
+        "from multiprocessing.pool import ThreadPool\n",
+        "from multiprocessing.dummy import Pool\n",
+        "import multiprocessing\np = multiprocessing.Pool(2)\n",
+        "import multiprocessing as mp\np = mp.Pool(2)\n",
+        "import multiprocessing as mp\np = mp.pool.Pool(2)\n",
+        "import multiprocessing.pool as mpp\np = mpp.Pool(2)\n",
+        "from multiprocessing import pool\np = pool.Pool(2)\n",
+        "import multiprocessing as mp\np = mp.get_context('fork').Pool(2)\n",
+        "from multiprocessing import get_context\np = get_context('fork').Pool(2)\n",
+    ],
+)
+def test_rpr006_flags_direct_pools(source: str) -> None:
+    assert codes(source) == ["RPR006"]
+    assert codes(source, path=OUTSIDE) == ["RPR006"]
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "from multiprocessing import Pool\n",
+        "import multiprocessing as mp\np = mp.Pool(2)\n",
+        "from multiprocessing import get_context\np = get_context('fork').Pool(2)\n",
+    ],
+)
+def test_rpr006_exempts_the_parallel_package(source: str) -> None:
+    assert codes(source, path=PARALLEL) == []
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import multiprocessing\n",
+        "from multiprocessing import shared_memory\n",
+        "from multiprocessing import get_context\nctx = get_context('fork')\n",
+        "from repro.parallel.build import pool\nworkers = pool(4)\n",
+        # An unrelated object with a Pool attribute is not multiprocessing.
+        "import threading\np = threading.Pool(2)\n",
+    ],
+)
+def test_rpr006_allows_non_pool_multiprocessing(source: str) -> None:
+    assert codes(source) == []
+
+
+def test_rpr006_suppressible_inline() -> None:
+    source = "from multiprocessing import Pool  # repolint: disable=RPR006\n"
+    assert codes(source) == []
+
+
+# ---------------------------------------------------------------------------
 # Findings, path handling, CLI
 # ---------------------------------------------------------------------------
 
@@ -332,17 +392,19 @@ def test_main_json_reports_every_rule_id(tmp_path, capsys) -> None:
     (core / "r3.py").write_text("import numpy as np\nx = np.zeros(3)\n")
     (core / "r4.py").write_text("def f(items=[]):\n    return items\n")
     (algos / "r5.py").write_text("def sample(data, seed=0):\n    return data\n")
+    (core / "r6.py").write_text("from multiprocessing import Pool\n")
 
     exit_code = main(["--json", str(tmp_path)])
     report = json.loads(capsys.readouterr().out)
 
     assert exit_code == 1
-    assert report["files_checked"] == 5
+    assert report["files_checked"] == 6
     seen = {finding["rule"] for finding in report["findings"]}
-    assert seen == {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005"}
+    assert seen == {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"}
     by_rule = {f["rule"]: f for f in report["findings"]}
     assert by_rule["RPR001"]["path"].endswith("r1.py")
     assert by_rule["RPR005"]["path"].endswith("r5.py")
+    assert by_rule["RPR006"]["path"].endswith("r6.py")
 
 
 def test_repository_is_lint_clean() -> None:

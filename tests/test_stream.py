@@ -245,6 +245,47 @@ class TestCheckpoint:
             load_checkpoint(path)
 
 
+class TestEffectiveWeight:
+    def test_disagreements_uses_effective_weight_under_decay(self):
+        matrix = generate_votes(n=40, rng=0).label_matrix()
+        engine = StreamingAggregator(matrix.shape[0], decay=0.8, rng=0)
+        updates = engine.observe_many(matrix[:, :6])
+        weight = engine.incremental.effective_m
+        assert weight < engine.count  # decay strictly shrinks the total mass
+        assert engine.disagreements() == pytest.approx(weight * engine.cost())
+        assert updates[-1].disagreements == pytest.approx(weight * updates[-1].cost)
+
+    def test_restore_adopts_accumulators_without_fresh_allocation(self, monkeypatch):
+        # Regression: from_state used to run __init__, allocating zeroed
+        # O(n²) matrices only to overwrite them with the checkpointed
+        # accumulators.  The restore path must never construct a fresh
+        # instance at all.
+        matrix = generate_votes(n=30, rng=0).label_matrix()
+        engine = StreamingAggregator(matrix.shape[0], rng=1)
+        engine.observe_many(matrix[:, :3])
+        state = engine.state()
+
+        def boom(self, *args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("restore must adopt accumulators, not allocate")
+
+        monkeypatch.setattr(IncrementalCorrelationInstance, "__init__", boom)
+        restored = StreamingAggregator.from_state(state)
+        assert restored.count == engine.count
+        assert restored.consensus == engine.consensus
+        np.testing.assert_array_equal(
+            restored.incremental.distances(), engine.incremental.distances()
+        )
+
+    def test_adopted_instance_validated(self):
+        incremental = IncrementalCorrelationInstance(8, decay=0.9)
+        engine = StreamingAggregator(8, incremental=incremental)
+        assert engine.incremental is incremental
+        with pytest.raises(ValueError, match="covers"):
+            StreamingAggregator(9, incremental=incremental)
+        with pytest.raises(ValueError, match="adopted instance"):
+            StreamingAggregator(8, decay=0.5, incremental=incremental)
+
+
 class TestLocalSearchDetails:
     def test_details_reported(self):
         matrix = generate_votes(n=60, rng=0).label_matrix()
