@@ -29,6 +29,8 @@ import numpy as np
 
 from ..core.instance import CorrelationInstance
 from ..core.partition import Clustering
+from ..obs.metrics import inc
+from ..obs.profile import phase
 
 __all__ = ["agglomerative"]
 
@@ -57,67 +59,71 @@ def agglomerative(
     if n == 1:
         return Clustering.single_cluster(1)
 
-    # Working copy: float64 for exactness on small instances, float32 to
-    # halve memory at paper scale.
-    dtype = np.float64 if n <= 4096 else np.float32
-    D = instance.X.astype(dtype, copy=True)
-    np.fill_diagonal(D, np.inf)
+    with phase("agglomerative.init", n=n):
+        # Working copy: float64 for exactness on small instances, float32 to
+        # halve memory at paper scale.
+        dtype = np.float64 if n <= 4096 else np.float32
+        D = instance.X.astype(dtype, copy=True)
+        np.fill_diagonal(D, np.inf)
 
-    active = np.ones(n, dtype=bool)
-    # On weighted (atom) instances each node starts as a cluster of its
-    # duplicate multiplicity; average linkage then matches the expanded
-    # instance (whose duplicates would merge first at height 0).
-    sizes = instance.effective_weights().copy()
-    labels = np.arange(n, dtype=np.int64)
-    # Nearest-neighbour cache: nn_val[i] = min_j D[i, j], nn_idx[i] = argmin.
-    nn_idx = np.argmin(D, axis=1)
-    nn_val = D[np.arange(n), nn_idx]
+        active = np.ones(n, dtype=bool)
+        # On weighted (atom) instances each node starts as a cluster of its
+        # duplicate multiplicity; average linkage then matches the expanded
+        # instance (whose duplicates would merge first at height 0).
+        sizes = instance.effective_weights().copy()
+        labels = np.arange(n, dtype=np.int64)
+        # Nearest-neighbour cache: nn_val[i] = min_j D[i, j], nn_idx[i] = argmin.
+        nn_idx = np.argmin(D, axis=1)
+        nn_val = D[np.arange(n), nn_idx]
 
     remaining = n
     target = 1 if force_k is None else force_k
-    while remaining > target:
-        candidates = np.flatnonzero(active)
-        pos = int(np.argmin(nn_val[candidates]))
-        i = int(candidates[pos])
-        j = int(nn_idx[i])
-        value = float(nn_val[i])
-        if force_k is None and value >= threshold:
-            break
+    with phase("agglomerative.merge", n=n) as merge_span:
+        while remaining > target:
+            candidates = np.flatnonzero(active)
+            pos = int(np.argmin(nn_val[candidates]))
+            i = int(candidates[pos])
+            j = int(nn_idx[i])
+            value = float(nn_val[i])
+            if force_k is None and value >= threshold:
+                break
 
-        # Merge j into i with the average-linkage Lance-Williams update.
-        si, sj = sizes[i], sizes[j]
-        merged_row = (si * D[i] + sj * D[j]) / (si + sj)
-        D[i] = merged_row
-        D[:, i] = merged_row
-        D[i, i] = np.inf
-        D[j, :] = np.inf
-        D[:, j] = np.inf
-        sizes[i] = si + sj
-        active[j] = False
-        labels[labels == j] = i
-        remaining -= 1
-        if remaining == 1:
-            break
+            # Merge j into i with the average-linkage Lance-Williams update.
+            si, sj = sizes[i], sizes[j]
+            merged_row = (si * D[i] + sj * D[j]) / (si + sj)
+            D[i] = merged_row
+            D[:, i] = merged_row
+            D[i, i] = np.inf
+            D[j, :] = np.inf
+            D[:, j] = np.inf
+            sizes[i] = si + sj
+            active[j] = False
+            labels[labels == j] = i
+            remaining -= 1
+            if remaining == 1:
+                break
 
-        # Repair the nearest-neighbour cache.  Row i changed entirely; any
-        # row whose cached neighbour was i or j may now be stale; all other
-        # rows can only have *improved* towards i.
-        row_i = D[i]
-        nn_idx[i] = int(np.argmin(row_i))
-        nn_val[i] = row_i[nn_idx[i]]
+            # Repair the nearest-neighbour cache.  Row i changed entirely; any
+            # row whose cached neighbour was i or j may now be stale; all other
+            # rows can only have *improved* towards i.
+            row_i = D[i]
+            nn_idx[i] = int(np.argmin(row_i))
+            nn_val[i] = row_i[nn_idx[i]]
 
-        stale = np.flatnonzero(active & ((nn_idx == i) | (nn_idx == j)))
-        for r in stale:
-            if r == i:
-                continue
-            row = D[r]
-            nn_idx[r] = int(np.argmin(row))
-            nn_val[r] = row[nn_idx[r]]
+            stale = np.flatnonzero(active & ((nn_idx == i) | (nn_idx == j)))
+            for r in stale:
+                if r == i:
+                    continue
+                row = D[r]
+                nn_idx[r] = int(np.argmin(row))
+                nn_val[r] = row[nn_idx[r]]
 
-        better = active.copy()
-        better[i] = False
-        improved = np.flatnonzero(better & (D[:, i] < nn_val))
-        nn_idx[improved] = i
-        nn_val[improved] = D[improved, i]
-
+            better = active.copy()
+            better[i] = False
+            improved = np.flatnonzero(better & (D[:, i] < nn_val))
+            nn_idx[improved] = i
+            nn_val[improved] = D[improved, i]
+        merges = n - remaining
+        merge_span.set(merges=merges, clusters=remaining)
+    inc("agglomerative.merges", merges)
     return Clustering(labels)

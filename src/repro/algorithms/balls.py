@@ -21,6 +21,8 @@ import numpy as np
 
 from ..core.instance import CorrelationInstance
 from ..core.partition import Clustering
+from ..obs.metrics import inc
+from ..obs.profile import phase
 
 __all__ = ["balls", "THEORY_ALPHA", "PRACTICAL_ALPHA"]
 
@@ -59,30 +61,39 @@ def balls(
     X = instance.X
     n = instance.n
     node_weights = instance.effective_weights()
-    if sort_by_weight:
-        incident = X.astype(np.float64) @ node_weights
-        order = np.argsort(incident, kind="stable")
-    else:
-        order = np.arange(n)
+    with phase("balls.sort", n=n):
+        if sort_by_weight:
+            incident = X.astype(np.float64) @ node_weights
+            order = np.argsort(incident, kind="stable")
+        else:
+            order = np.arange(n)
 
-    labels = np.full(n, -1, dtype=np.int64)
-    unclustered = np.ones(n, dtype=bool)
-    next_label = 0
-    for u in order:
-        if not unclustered[u]:
-            continue
-        in_ball = unclustered & (X[u] <= radius)
-        in_ball[u] = False
-        ball = np.flatnonzero(in_ball)
-        if ball.size > 0:
-            # Weighted average over the expanded objects in the ball —
-            # including u's own duplicates, which sit at distance 0.
-            ball_weight = float(node_weights[ball].sum()) + float(node_weights[u]) - 1.0
-            ball_distance = float(X[u, ball].astype(np.float64) @ node_weights[ball])
-            if ball_distance / ball_weight <= alpha:
-                labels[ball] = next_label
-                unclustered[ball] = False
-        labels[u] = next_label
-        unclustered[u] = False
-        next_label += 1
+    with phase("balls.sweep", n=n, alpha=alpha) as sweep_span:
+        labels = np.full(n, -1, dtype=np.int64)
+        unclustered = np.ones(n, dtype=bool)
+        next_label = 0
+        singletons = 0
+        for u in order:
+            if not unclustered[u]:
+                continue
+            in_ball = unclustered & (X[u] <= radius)
+            in_ball[u] = False
+            ball = np.flatnonzero(in_ball)
+            accepted = False
+            if ball.size > 0:
+                # Weighted average over the expanded objects in the ball —
+                # including u's own duplicates, which sit at distance 0.
+                ball_weight = float(node_weights[ball].sum()) + float(node_weights[u]) - 1.0
+                ball_distance = float(X[u, ball].astype(np.float64) @ node_weights[ball])
+                if ball_distance / ball_weight <= alpha:
+                    labels[ball] = next_label
+                    unclustered[ball] = False
+                    accepted = True
+            if not accepted:
+                singletons += 1
+            labels[u] = next_label
+            unclustered[u] = False
+            next_label += 1
+        sweep_span.set(clusters=next_label, singletons=singletons)
+    inc("balls.clusters", next_label)
     return Clustering(labels)

@@ -18,6 +18,8 @@ import numpy as np
 
 from ..core.instance import CorrelationInstance
 from ..core.partition import Clustering
+from ..obs.metrics import inc
+from ..obs.profile import phase
 
 __all__ = ["furthest"]
 
@@ -59,37 +61,42 @@ def furthest(
     if cap < 2:
         return best
 
-    # Initial centers: the furthest pair.
-    flat = int(np.argmax(X))
-    first, second = np.unravel_index(flat, X.shape)
-    if first == second:
-        # X is identically zero (e.g. identical input clusterings): argmax
-        # lands on the diagonal and would duplicate a center, splitting
-        # node 0 into a phantom cluster.  Any two distinct nodes are
-        # equally (non-)far apart, so pick the canonical pair.
-        first, second = 0, 1
-    centers = [int(first), int(second)]
+    with phase("furthest", n=n, cap=cap) as furthest_span:
+        # Initial centers: the furthest pair.
+        flat = int(np.argmax(X))
+        first, second = np.unravel_index(flat, X.shape)
+        if first == second:
+            # X is identically zero (e.g. identical input clusterings): argmax
+            # lands on the diagonal and would duplicate a center, splitting
+            # node 0 into a phantom cluster.  Any two distinct nodes are
+            # equally (non-)far apart, so pick the canonical pair.
+            first, second = 0, 1
+        centers = [int(first), int(second)]
 
-    while True:
-        center_columns = X[:, centers]  # (n, |centers|)
-        assignment = np.argmin(center_columns, axis=1)
-        # Each center belongs to its own cluster (distance 0 to itself, and
-        # argmin ties resolve to the first column — force exactness).
-        for rank, center in enumerate(centers):
-            assignment[center] = rank
-        candidate = Clustering(assignment)
-        cost = instance.cost(candidate)
-        if force_k is not None:
-            if len(centers) >= cap:
-                return candidate
-        elif cost < best_cost:
-            best, best_cost = candidate, cost
-        else:
-            return best
-        if force_k is None and len(centers) >= cap:
-            return best
+        rounds = 0
+        while True:
+            rounds += 1
+            furthest_span.set(rounds=rounds, centers=len(centers))
+            inc("furthest.rounds")
+            center_columns = X[:, centers]  # (n, |centers|)
+            assignment = np.argmin(center_columns, axis=1)
+            # Each center belongs to its own cluster (distance 0 to itself, and
+            # argmin ties resolve to the first column — force exactness).
+            for rank, center in enumerate(centers):
+                assignment[center] = rank
+            candidate = Clustering(assignment)
+            cost = instance.cost(candidate)
+            if force_k is not None:
+                if len(centers) >= cap:
+                    return candidate
+            elif cost < best_cost:
+                best, best_cost = candidate, cost
+            else:
+                return best
+            if force_k is None and len(centers) >= cap:
+                return best
 
-        # Next center: the node furthest from all existing centers.
-        distance_to_centers = center_columns.min(axis=1)
-        distance_to_centers[centers] = -1.0
-        centers.append(int(np.argmax(distance_to_centers)))
+            # Next center: the node furthest from all existing centers.
+            distance_to_centers = center_columns.min(axis=1)
+            distance_to_centers[centers] = -1.0
+            centers.append(int(np.argmax(distance_to_centers)))

@@ -24,6 +24,8 @@ import numpy as np
 from ..core.instance import CorrelationInstance
 from ..core.objective import MoveEvaluator
 from ..core.partition import Clustering
+from ..obs.metrics import inc
+from ..obs.profile import phase
 
 __all__ = ["local_search", "refine", "LocalSearchDetails"]
 
@@ -66,21 +68,25 @@ def refine(
     """
     generator = None if rng is None else np.random.default_rng(rng)
     details = LocalSearchDetails()
-    for _ in range(max_sweeps):
-        details.sweeps += 1
-        candidates = evaluator.candidate_movers(eps=_EPS)
-        if generator is not None and candidates.size:
-            generator.shuffle(candidates)
-        improved = False
-        for v in candidates:
-            # Scores go stale as earlier candidates move, so each candidate
-            # is re-verified in place; only a node that still improves pays
-            # the O(n) relocation.
-            if evaluator.relocate_if_better(int(v), eps=_EPS):
-                improved = True
-                details.moves += 1
-        if not improved:
-            break
+    with phase("localsearch.refine", n=evaluator.n) as refine_span:
+        for _ in range(max_sweeps):
+            details.sweeps += 1
+            candidates = evaluator.candidate_movers(eps=_EPS)
+            if generator is not None and candidates.size:
+                generator.shuffle(candidates)
+            improved = False
+            for v in candidates:
+                # Scores go stale as earlier candidates move, so each candidate
+                # is re-verified in place; only a node that still improves pays
+                # the O(n) relocation.
+                if evaluator.relocate_if_better(int(v), eps=_EPS):
+                    improved = True
+                    details.moves += 1
+            if not improved:
+                break
+        refine_span.set(sweeps=details.sweeps, moves=details.moves)
+    inc("localsearch.sweeps", details.sweeps)
+    inc("localsearch.moves", details.moves)
     return details
 
 
@@ -115,7 +121,8 @@ def local_search(
         initial = Clustering.singletons(n)
     if initial.n != n:
         raise ValueError("initial clustering must cover every object of the instance")
-    evaluator = MoveEvaluator(instance, initial)
+    with phase("localsearch.init", n=n):
+        evaluator = MoveEvaluator(instance, initial)
     details = refine(evaluator, max_sweeps=max_sweeps, rng=rng)
     result = evaluator.clustering()
     if return_details:

@@ -32,6 +32,8 @@ from ..core.instance import CorrelationInstance
 from ..core.labels import validate_label_matrix
 from ..core.objective import ClusterCountTables
 from ..core.partition import Clustering
+from ..obs.metrics import inc
+from ..obs.trace import span
 
 __all__ = ["sampling", "SamplingDetails", "default_sample_size"]
 
@@ -146,55 +148,60 @@ def sampling(
     # ------------------------------------------------------------------
     # Phase 1: cluster the sample with the inner algorithm.
     # ------------------------------------------------------------------
-    if weights is not None:
-        probabilities = weights / weights.sum()
-        sample = np.sort(generator.choice(n, size=size, replace=False, p=probabilities))
-    else:
-        sample = np.sort(generator.choice(n, size=size, replace=False))
-    details.sample_indices = sample
-    if matrix is not None:
-        sub = CorrelationInstance.from_label_matrix(
-            matrix[sample],
-            p=p,
-            weights=None if weights is None else weights[sample],
-            n_jobs=n_jobs,
-        )
-    else:
-        sub = instance.subinstance(sample)
-    sample_clustering = inner(sub)
-    details.sample_clusters = sample_clustering.k
-    labels[sample] = sample_clustering.labels
+    with span("sampling.phase1", n=n, sample=size) as phase1_span:
+        if weights is not None:
+            probabilities = weights / weights.sum()
+            sample = np.sort(generator.choice(n, size=size, replace=False, p=probabilities))
+        else:
+            sample = np.sort(generator.choice(n, size=size, replace=False))
+        details.sample_indices = sample
+        if matrix is not None:
+            sub = CorrelationInstance.from_label_matrix(
+                matrix[sample],
+                p=p,
+                weights=None if weights is None else weights[sample],
+                n_jobs=n_jobs,
+            )
+        else:
+            sub = instance.subinstance(sample)
+        sample_clustering = inner(sub)
+        details.sample_clusters = sample_clustering.k
+        labels[sample] = sample_clustering.labels
+        phase1_span.set(clusters=sample_clustering.k)
 
     # ------------------------------------------------------------------
     # Phase 2: assign every non-sampled object to the cheapest cluster.
     # ------------------------------------------------------------------
     rest = np.setdiff1d(np.arange(n), sample, assume_unique=True)
-    if rest.size:
-        if matrix is not None:
-            from ..parallel.build import parallel_assign
+    with span("sampling.phase2", rest=int(rest.size)):
+        if rest.size:
+            if matrix is not None:
+                from ..parallel.build import parallel_assign
 
-            tables = ClusterCountTables(
-                matrix,
-                sample,
-                sample_clustering.labels,
-                p=p,
-                member_weights=None if weights is None else weights[sample],
-            )
-            labels[rest] = parallel_assign(tables, rest, n_jobs=n_jobs, block_size=_ASSIGN_BLOCK)
-        else:
-            X = instance.X
-            sizes = sample_clustering.sizes().astype(np.float64)
-            for start in range(0, rest.size, _ASSIGN_BLOCK):
-                block = rest[start : start + _ASSIGN_BLOCK]
-                rows = X[np.ix_(block, sample)].astype(np.float64)
-                mass = np.zeros((block.size, sample_clustering.k), dtype=np.float64)
-                for cluster, members in enumerate(sample_clustering.clusters()):
-                    mass[:, cluster] = rows[:, members].sum(axis=1)
-                scores = 2.0 * mass - sizes[None, :]
-                best = np.argmin(scores, axis=1)
-                chosen = best.astype(np.int64)
-                chosen[scores[np.arange(block.size), best] > 0.0] = -1
-                labels[block] = chosen
+                tables = ClusterCountTables(
+                    matrix,
+                    sample,
+                    sample_clustering.labels,
+                    p=p,
+                    member_weights=None if weights is None else weights[sample],
+                )
+                labels[rest] = parallel_assign(
+                    tables, rest, n_jobs=n_jobs, block_size=_ASSIGN_BLOCK
+                )
+            else:
+                X = instance.X
+                sizes = sample_clustering.sizes().astype(np.float64)
+                for start in range(0, rest.size, _ASSIGN_BLOCK):
+                    block = rest[start : start + _ASSIGN_BLOCK]
+                    rows = X[np.ix_(block, sample)].astype(np.float64)
+                    mass = np.zeros((block.size, sample_clustering.k), dtype=np.float64)
+                    for cluster, members in enumerate(sample_clustering.clusters()):
+                        mass[:, cluster] = rows[:, members].sum(axis=1)
+                    scores = 2.0 * mass - sizes[None, :]
+                    best = np.argmin(scores, axis=1)
+                    chosen = best.astype(np.int64)
+                    chosen[scores[np.arange(block.size), best] > 0.0] = -1
+                    labels[block] = chosen
 
     # ------------------------------------------------------------------
     # Phase 3: collect all singletons and aggregate them among themselves.
@@ -202,56 +209,60 @@ def sampling(
     # Cluster mass must be measured in expanded objects: on atom inputs a
     # weight-w atom alone in its cluster represents w co-clustered
     # duplicates, not a stray singleton to re-aggregate.
-    row_weights = weights if matrix is not None else instance.weights
-    attached = np.flatnonzero(labels >= 0)
-    if row_weights is None:
-        mass = np.bincount(labels[attached], minlength=sample_clustering.k)
-    else:
-        mass = np.bincount(
-            labels[attached], weights=row_weights[attached], minlength=sample_clustering.k
-        )
-    singleton_clusters = np.flatnonzero(mass == 1)
-    is_singleton = labels < 0
-    if singleton_clusters.size:
-        is_singleton |= np.isin(labels, singleton_clusters)
-    singles = np.flatnonzero(is_singleton)
-    attached_rest = rest[labels[rest] >= 0] if rest.size else rest
-    if row_weights is None:
-        details.assigned_to_clusters = int(attached_rest.size)
-        details.leftover_singletons = int(singles.size)
-    else:
-        details.assigned_to_clusters = int(row_weights[attached_rest].sum())
-        details.leftover_singletons = int(row_weights[singles].sum())
-
-    next_label = int(labels.max()) + 1 if np.any(labels >= 0) else 0
-    if singles.size > 1:
-        if singles.size > max_singleton_subproblem:
-            details.recursed = True
-            inner_result = sampling(
-                matrix[singles] if matrix is not None else instance.subinstance(singles),
-                inner,
-                sample_size=size,
-                p=p,
-                rng=generator,
-                max_singleton_subproblem=max_singleton_subproblem,
-                weights=None if weights is None or matrix is None else weights[singles],
-                n_jobs=n_jobs,
-            )
-            labels[singles] = next_label + inner_result.labels
+    with span("sampling.phase3") as phase3_span:
+        row_weights = weights if matrix is not None else instance.weights
+        attached = np.flatnonzero(labels >= 0)
+        if row_weights is None:
+            mass = np.bincount(labels[attached], minlength=sample_clustering.k)
         else:
-            if matrix is not None:
-                single_instance = CorrelationInstance.from_label_matrix(
-                    matrix[singles],
+            mass = np.bincount(
+                labels[attached], weights=row_weights[attached], minlength=sample_clustering.k
+            )
+        singleton_clusters = np.flatnonzero(mass == 1)
+        is_singleton = labels < 0
+        if singleton_clusters.size:
+            is_singleton |= np.isin(labels, singleton_clusters)
+        singles = np.flatnonzero(is_singleton)
+        attached_rest = rest[labels[rest] >= 0] if rest.size else rest
+        if row_weights is None:
+            details.assigned_to_clusters = int(attached_rest.size)
+            details.leftover_singletons = int(singles.size)
+        else:
+            details.assigned_to_clusters = int(row_weights[attached_rest].sum())
+            details.leftover_singletons = int(row_weights[singles].sum())
+        phase3_span.set(singletons=int(singles.size))
+
+        next_label = int(labels.max()) + 1 if np.any(labels >= 0) else 0
+        if singles.size > 1:
+            if singles.size > max_singleton_subproblem:
+                details.recursed = True
+                inc("sampling.recursions")
+                phase3_span.set(recursed=True)
+                inner_result = sampling(
+                    matrix[singles] if matrix is not None else instance.subinstance(singles),
+                    inner,
+                    sample_size=size,
                     p=p,
-                    weights=None if weights is None else weights[singles],
+                    rng=generator,
+                    max_singleton_subproblem=max_singleton_subproblem,
+                    weights=None if weights is None or matrix is None else weights[singles],
                     n_jobs=n_jobs,
                 )
+                labels[singles] = next_label + inner_result.labels
             else:
-                single_instance = instance.subinstance(singles)
-            regrouped = inner(single_instance)
-            labels[singles] = next_label + regrouped.labels.astype(np.int64)
-    elif singles.size == 1:
-        labels[singles] = next_label
+                if matrix is not None:
+                    single_instance = CorrelationInstance.from_label_matrix(
+                        matrix[singles],
+                        p=p,
+                        weights=None if weights is None else weights[singles],
+                        n_jobs=n_jobs,
+                    )
+                else:
+                    single_instance = instance.subinstance(singles)
+                regrouped = inner(single_instance)
+                labels[singles] = next_label + regrouped.labels.astype(np.int64)
+        elif singles.size == 1:
+            labels[singles] = next_label
 
     result = Clustering(labels)
     if return_details:

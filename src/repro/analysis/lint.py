@@ -37,6 +37,10 @@ RPR006   No direct ``multiprocessing`` pool construction outside
          ``ThreadPool`` (including ``get_context(...).Pool``) elsewhere
          bypasses the start-method policy and the shared-memory
          conventions of :func:`repro.parallel.build.pool`.
+RPR007   No raw ``time.perf_counter()`` (or ``perf_counter_ns``) in
+         library code outside ``repro/obs/`` — ad-hoc timing drifts out
+         of the observability surface; wrap the code in a
+         :func:`repro.obs.span` and read ``Span.seconds`` instead.
 =======  ==============================================================
 
 Suppressions
@@ -79,6 +83,7 @@ RULES: dict[str, str] = {
     "RPR004": "mutable default argument / in-place mutation of Clustering.labels",
     "RPR005": "randomness parameter must follow `rng: np.random.Generator | int | None`",
     "RPR006": "direct multiprocessing pool use outside repro.parallel; use repro.parallel.build.pool",
+    "RPR007": "raw time.perf_counter() outside repro.obs; wrap the code in a repro.obs span",
 }
 
 #: Subpackages of ``repro`` whose files RPR002 applies to.
@@ -91,6 +96,12 @@ KERNEL_PACKAGES = frozenset(
 
 #: The one subpackage allowed to construct multiprocessing pools (RPR006).
 POOL_PACKAGE = "parallel"
+
+#: The one subpackage allowed to call ``time.perf_counter`` (RPR007).
+TIMING_PACKAGE = "obs"
+
+#: ``time`` attributes that RPR007 treats as ad-hoc profiling clocks.
+_PERF_CLOCKS = frozenset({"perf_counter", "perf_counter_ns"})
 
 #: ``multiprocessing`` attributes that construct worker pools.
 _POOL_CONSTRUCTORS = frozenset({"Pool", "ThreadPool"})
@@ -195,6 +206,7 @@ class _Checker(ast.NodeVisitor):
         self._check_pair_loops = subpackage in PAIR_LOOP_PACKAGES
         self._check_alloc_dtype = subpackage in KERNEL_PACKAGES
         self._check_pools = subpackage != POOL_PACKAGE
+        self._check_perf_clock = self._in_library and subpackage != TIMING_PACKAGE
         self.findings: list[Finding] = []
         # Names the file binds to numpy, numpy.random, and stdlib random.
         self._numpy_aliases: set[str] = set()
@@ -205,6 +217,8 @@ class _Checker(ast.NodeVisitor):
         self._mp_aliases: set[str] = set()
         self._mp_pool_aliases: set[str] = set()
         self._mp_get_context_aliases: set[str] = set()
+        # Names bound to the stdlib ``time`` module (RPR007).
+        self._time_aliases: set[str] = set()
         # For loops already reported (avoid duplicate RPR002 per nest).
         self._reported_pair_loops: set[int] = set()
 
@@ -233,6 +247,8 @@ class _Checker(ast.NodeVisitor):
                     self._numpy_aliases.add(bound)
             elif alias.name == "random":
                 self._stdlib_random_aliases.add(bound)
+            elif alias.name == "time":
+                self._time_aliases.add(bound)
             elif alias.name == "multiprocessing":
                 self._mp_aliases.add(bound)
             elif alias.name.startswith("multiprocessing."):
@@ -278,6 +294,15 @@ class _Checker(ast.NodeVisitor):
                     self._mp_pool_aliases.add(alias.asname or "pool")
                 elif alias.name == "get_context":
                     self._mp_get_context_aliases.add(alias.asname or "get_context")
+        elif node.module == "time" and self._check_perf_clock:
+            for alias in node.names:
+                if alias.name in _PERF_CLOCKS:
+                    self._report(
+                        node,
+                        "RPR007",
+                        f"`from time import {alias.name}` outside repro.obs; wrap the "
+                        "timed code in a `repro.obs.span` and read `Span.seconds`",
+                    )
         elif node.module in ("multiprocessing.pool", "multiprocessing.dummy") and self._check_pools:
             for alias in node.names:
                 if alias.name in _POOL_CONSTRUCTORS:
@@ -297,6 +322,7 @@ class _Checker(ast.NodeVisitor):
             self._check_rng_call(node, dotted)
             self._check_allocation(node, dotted)
             self._check_pool_call(node, dotted)
+            self._check_perf_clock_call(node, dotted)
         self._check_context_pool_call(node)
         self._check_labels_mutator_call(node)
         self.generic_visit(node)
@@ -321,6 +347,19 @@ class _Checker(ast.NodeVisitor):
                 "RPR006",
                 f"`{'.'.join(dotted)}()` outside repro.parallel; "
                 "use `repro.parallel.build.pool` instead",
+            )
+
+    # -- RPR007: ad-hoc profiling clocks -------------------------------
+
+    def _check_perf_clock_call(self, node: ast.Call, dotted: tuple[str, ...]) -> None:
+        if not self._check_perf_clock:
+            return
+        if len(dotted) == 2 and dotted[0] in self._time_aliases and dotted[1] in _PERF_CLOCKS:
+            self._report(
+                node,
+                "RPR007",
+                f"`{'.'.join(dotted)}()` outside repro.obs; wrap the timed code in a "
+                "`repro.obs.span` and read `Span.seconds`",
             )
 
     def _check_context_pool_call(self, node: ast.Call) -> None:
@@ -620,7 +659,7 @@ def lint_paths(paths: Sequence[str | Path]) -> tuple[list[Finding], int]:
 def main(argv: Iterable[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Repository-specific invariant linter (rules RPR001-RPR006).",
+        description="Repository-specific invariant linter (rules RPR001-RPR007).",
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument("--json", action="store_true", help="emit a JSON report on stdout")

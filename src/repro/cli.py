@@ -24,6 +24,12 @@ Subcommands
 ``--json`` (on ``aggregate`` and ``stream``) switches the report to a
 single machine-readable JSON object for service integration.
 
+``--trace`` (on ``aggregate``, ``portfolio`` and ``stream``) prints an
+indented span tree of the run from :mod:`repro.obs` — on stderr when
+combined with ``--json`` so stdout stays machine-readable.
+``--metrics-out PATH`` enables the metrics registry for the run and
+writes its snapshot JSON to ``PATH``.
+
 Examples
 --------
 ::
@@ -33,6 +39,7 @@ Examples
     repro-aggregate aggregate /tmp/votes.csv --method balls --alpha 0.4
     repro-aggregate aggregate big.csv --method sampling --inner furthest --sample-size 1000
     repro-aggregate portfolio /tmp/votes.csv --jobs 4 --seed 7
+    repro-aggregate portfolio /tmp/votes.csv --trace --metrics-out /tmp/metrics.json
     repro-aggregate stream /tmp/votes.csv --decay 0.99 --checkpoint /tmp/engine.npz
     repro-aggregate aggregate /tmp/votes.csv --method local-search --seed 7 --json
 """
@@ -42,7 +49,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -56,6 +63,7 @@ from .datasets import (
     generate_votes,
 )
 from .metrics import classification_error, cluster_size_summary, confusion_matrix
+from .obs import disable_metrics, enable_metrics, get_registry, tracing
 
 _GENERATORS = {
     "votes": generate_votes,
@@ -63,6 +71,57 @@ _GENERATORS = {
     "census": generate_census,
     "movies": generate_movies,
 }
+
+
+def _add_observability_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--trace",
+        action="store_true",
+        help="print an indented span tree of the run (stderr when --json)",
+    )
+    sub.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="collect repro.obs metrics and write the snapshot JSON to PATH",
+    )
+
+
+def _run_observed(args: argparse.Namespace, body: Callable[[argparse.Namespace], int]) -> int:
+    """Run a subcommand body under the requested observability surfaces.
+
+    ``--trace`` wraps the body in :func:`repro.obs.tracing` and prints the
+    rendered span tree — to stdout normally, to stderr under ``--json`` so
+    the machine-readable object stays alone on stdout.  ``--metrics-out``
+    enables the process-wide registry for the duration of the body and
+    writes its snapshot JSON to the given path.
+    """
+    want_trace = bool(getattr(args, "trace", False))
+    metrics_out = getattr(args, "metrics_out", None)
+    if not want_trace and not metrics_out:
+        return body(args)
+    if metrics_out:
+        enable_metrics()
+        get_registry().reset()
+    try:
+        if want_trace:
+            with tracing() as trace:
+                code = body(args)
+            out = sys.stderr if getattr(args, "json", False) else sys.stdout
+            print(file=out)
+            print(trace.render(), file=out)
+        else:
+            code = body(args)
+        if metrics_out:
+            with open(metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(get_registry().to_json())
+                handle.write("\n")
+            report = sys.stderr if getattr(args, "json", False) else sys.stdout
+            print(f"metrics written  {metrics_out}", file=report)
+    finally:
+        if metrics_out:
+            disable_metrics()
+    return code
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -102,6 +161,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--json", action="store_true", help="emit a machine-readable JSON report")
     run.add_argument("--out", default=None, help="write consensus labels to this file")
+    _add_observability_arguments(run)
 
     port = subparsers.add_parser(
         "portfolio", help="run several algorithms concurrently, keep the best"
@@ -124,6 +184,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     port.add_argument("--json", action="store_true", help="emit a machine-readable JSON report")
     port.add_argument("--out", default=None, help="write consensus labels to this file")
+    _add_observability_arguments(port)
 
     stream = subparsers.add_parser(
         "stream", help="replay a CSV column-by-column through the streaming engine"
@@ -154,6 +215,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument("--json", action="store_true", help="emit a machine-readable JSON report")
     stream.add_argument("--out", default=None, help="write consensus labels to this file")
+    _add_observability_arguments(stream)
 
     gen = subparsers.add_parser("generate", help="write a built-in dataset to CSV")
     gen.add_argument("dataset", choices=sorted(_GENERATORS))
@@ -402,11 +464,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "aggregate":
-        return _command_aggregate(args)
+        return _run_observed(args, _command_aggregate)
     if args.command == "portfolio":
-        return _command_portfolio(args)
+        return _run_observed(args, _command_portfolio)
     if args.command == "stream":
-        return _command_stream(args)
+        return _run_observed(args, _command_stream)
     if args.command == "generate":
         return _command_generate(args)
     if args.command == "methods":

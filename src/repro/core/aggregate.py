@@ -22,7 +22,6 @@ five disagreements is optimal.)
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -38,6 +37,7 @@ from ..algorithms.furthest import furthest
 from ..algorithms.local_search import local_search
 from ..algorithms.sampling import sampling
 from ..consensus.genetic import genetic_consensus
+from ..obs.trace import span
 from .distance import total_disagreement
 from .instance import CorrelationInstance
 from .labels import as_label_matrix, validate_label_matrix
@@ -203,73 +203,77 @@ def aggregate(
         matrix = as_label_matrix(inputs)
 
     atoms = None
-    build_start = time.perf_counter()
-    if collapse:
-        if matrix is None or method in ("best", "streaming"):
-            raise ValueError(
-                "collapse=True needs a label matrix and is not meaningful for "
-                f"method {method!r}"
-            )
-        from .atoms import collapse_duplicates
-
-        atoms = collapse_duplicates(matrix)
-    if instance is None and (method in _INSTANCE_METHODS or method == "portfolio"):
-        if atoms is not None:
-            instance = CorrelationInstance.from_label_matrix(
-                atoms.matrix, p=p, weights=atoms.weights, n_jobs=n_jobs
-            )
-        else:
-            instance = CorrelationInstance.from_label_matrix(matrix, p=p, n_jobs=n_jobs)
-    build_seconds = time.perf_counter() - build_start
-
-    start = time.perf_counter()
-    if method in _INSTANCE_METHODS:
-        if instance is None:
-            raise ValueError(f"method {method!r} requires a distance matrix")
-        clustering = _INSTANCE_METHODS[method](instance, **params)
-        if atoms is not None:
-            clustering = atoms.expand(clustering)
-    elif method == "best":
-        if matrix is None:
-            raise ValueError("method 'best' needs the input clusterings, not a raw instance")
-        clustering = best_clustering(matrix, p=p, **params)
-    elif method == "portfolio":
-        from ..parallel.portfolio import portfolio
-
-        portfolio_result = portfolio(instance, n_jobs=n_jobs, **params)
-        clustering = portfolio_result.best
-        if atoms is not None:
-            clustering = atoms.expand(clustering)
-        params["portfolio"] = portfolio_result.to_dict()
-    elif method == "sampling":
-        inner = resolve_inner(params.pop("inner", "agglomerative"))
-        if atoms is not None:
-            clustering = atoms.expand(
-                sampling(
-                    atoms.matrix,
-                    inner,
-                    p=p,
-                    weights=atoms.weights.astype(np.float64),
-                    n_jobs=n_jobs,
-                    **params,
+    with span("aggregate.build", method=method) as build_span:
+        if collapse:
+            if matrix is None or method in ("best", "streaming"):
+                raise ValueError(
+                    "collapse=True needs a label matrix and is not meaningful for "
+                    f"method {method!r}"
                 )
-            )
-        else:
-            data = matrix if matrix is not None else instance
-            if data is None:  # unreachable: inputs is always one of the three forms
-                raise ValueError("method 'sampling' needs clusterings or an instance")
-            clustering = sampling(data, inner, p=p, n_jobs=n_jobs, **params)
-    elif method == "streaming":
-        if matrix is None:
-            raise ValueError("method 'streaming' needs the input clusterings, not a raw instance")
-        from ..stream.engine import StreamingAggregator
+            from .atoms import collapse_duplicates
 
-        engine = StreamingAggregator(matrix.shape[0], p=p, **params)
-        engine.observe_many(matrix)
-        clustering = engine.consensus
-    else:
-        raise ValueError(f"unknown method {method!r}; choose from {available_methods()}")
-    elapsed = time.perf_counter() - start
+            atoms = collapse_duplicates(matrix)
+            build_span.set(atoms=atoms.n_atoms, objects=atoms.n_objects)
+        if instance is None and (method in _INSTANCE_METHODS or method == "portfolio"):
+            if atoms is not None:
+                instance = CorrelationInstance.from_label_matrix(
+                    atoms.matrix, p=p, weights=atoms.weights, n_jobs=n_jobs
+                )
+            else:
+                instance = CorrelationInstance.from_label_matrix(matrix, p=p, n_jobs=n_jobs)
+    build_seconds = build_span.seconds
+
+    with span("aggregate.solve", method=method) as solve_span:
+        if method in _INSTANCE_METHODS:
+            if instance is None:
+                raise ValueError(f"method {method!r} requires a distance matrix")
+            clustering = _INSTANCE_METHODS[method](instance, **params)
+            if atoms is not None:
+                clustering = atoms.expand(clustering)
+        elif method == "best":
+            if matrix is None:
+                raise ValueError("method 'best' needs the input clusterings, not a raw instance")
+            clustering = best_clustering(matrix, p=p, **params)
+        elif method == "portfolio":
+            from ..parallel.portfolio import portfolio
+
+            portfolio_result = portfolio(instance, n_jobs=n_jobs, **params)
+            clustering = portfolio_result.best
+            if atoms is not None:
+                clustering = atoms.expand(clustering)
+            params["portfolio"] = portfolio_result.to_dict()
+        elif method == "sampling":
+            inner = resolve_inner(params.pop("inner", "agglomerative"))
+            if atoms is not None:
+                clustering = atoms.expand(
+                    sampling(
+                        atoms.matrix,
+                        inner,
+                        p=p,
+                        weights=atoms.weights.astype(np.float64),
+                        n_jobs=n_jobs,
+                        **params,
+                    )
+                )
+            else:
+                data = matrix if matrix is not None else instance
+                if data is None:  # unreachable: inputs is always one of the three forms
+                    raise ValueError("method 'sampling' needs clusterings or an instance")
+                clustering = sampling(data, inner, p=p, n_jobs=n_jobs, **params)
+        elif method == "streaming":
+            if matrix is None:
+                raise ValueError(
+                    "method 'streaming' needs the input clusterings, not a raw instance"
+                )
+            from ..stream.engine import StreamingAggregator
+
+            engine = StreamingAggregator(matrix.shape[0], p=p, **params)
+            engine.observe_many(matrix)
+            clustering = engine.consensus
+        else:
+            raise ValueError(f"unknown method {method!r}; choose from {available_methods()}")
+        solve_span.set(k=clustering.k)
+    elapsed = solve_span.seconds
 
     disagreements: float | None = None
     cost: float | None = None

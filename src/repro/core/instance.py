@@ -26,6 +26,8 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..analysis.contracts import check_distance_matrix, contracts_enabled
+from ..obs.metrics import inc
+from ..obs.profile import phase
 from .labels import MISSING, as_label_matrix, validate_label_matrix
 from .partition import Clustering
 
@@ -252,7 +254,10 @@ class CorrelationInstance:
         (bit-identical to the serial build; ``None`` defers to the
         ``REPRO_JOBS`` environment variable).
         """
-        X = disagreement_fractions(matrix, p=p, dtype=dtype, missing=missing, n_jobs=n_jobs)
+        with phase("instance.build", rows=int(matrix.shape[0]), m=int(matrix.shape[1])):
+            X = disagreement_fractions(matrix, p=p, dtype=dtype, missing=missing, n_jobs=n_jobs)
+        inc("instance.builds")
+        inc("instance.build.rows", float(matrix.shape[0]))
         instance = cls(X, m=matrix.shape[1], validate=False, weights=weights)
         if (
             contracts_enabled()

@@ -9,7 +9,6 @@ Figure 4 / Figure 5 experiments.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -23,6 +22,7 @@ from ..core.partition import Clustering
 from ..cluster.kmeans import kmeans
 from ..datasets.categorical import CategoricalDataset
 from ..metrics import classification_error
+from ..obs.trace import span
 
 __all__ = ["TableRow", "categorical_table", "kmeans_sweep", "disagreement_cost"]
 
@@ -83,10 +83,10 @@ def categorical_table(
     for method in methods:
         params = {"alpha": balls_alpha} if method == "balls" else {}
         label = f"BALLS(a={balls_alpha})" if method == "balls" else method.upper()
-        start = time.perf_counter()
-        result = aggregate(instance if method not in ("best", "sampling") else matrix,
-                           method=method, compute_lower_bound=False, n_jobs=n_jobs, **params)
-        elapsed = time.perf_counter() - start
+        with span("experiments.method", label=label) as method_span:
+            result = aggregate(instance if method not in ("best", "sampling") else matrix,
+                               method=method, compute_lower_bound=False, n_jobs=n_jobs, **params)
+        elapsed = method_span.seconds
         error = (
             classification_error(result.clustering, dataset.classes) * 100.0
             if dataset.classes is not None
@@ -97,9 +97,9 @@ def categorical_table(
         )
 
     for k, theta in rock_params:
-        start = time.perf_counter()
-        clustering = rock(matrix, k=k, theta=theta, sample_size=rock_sample, rng=0)
-        elapsed = time.perf_counter() - start
+        with span("experiments.rock", k=k, theta=theta) as rock_span:
+            clustering = rock(matrix, k=k, theta=theta, sample_size=rock_sample, rng=0)
+        elapsed = rock_span.seconds
         error = (
             classification_error(clustering, dataset.classes) * 100.0
             if dataset.classes is not None
@@ -116,9 +116,9 @@ def categorical_table(
         )
 
     for k, phi in limbo_params:
-        start = time.perf_counter()
-        clustering = limbo(matrix, k=k, phi=phi)
-        elapsed = time.perf_counter() - start
+        with span("experiments.limbo", k=k, phi=phi) as limbo_span:
+            clustering = limbo(matrix, k=k, phi=phi)
+        elapsed = limbo_span.seconds
         error = (
             classification_error(clustering, dataset.classes) * 100.0
             if dataset.classes is not None

@@ -1,0 +1,67 @@
+"""repro.obs — zero-dependency observability: tracing, metrics, profiling.
+
+Three coordinated layers, all opt-in and all free when off:
+
+- :mod:`repro.obs.trace` — nestable wall-time spans that build a tree
+  under ``with tracing():`` and render as JSON or an indented text tree.
+  Spans always time (the library's ``elapsed_seconds`` fields read
+  ``Span.seconds``), they are only *retained* while a trace is active.
+- :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges
+  and histograms with a snapshot/diff API; disabled by default, so the
+  instrumented hot paths pay one branch.
+- :mod:`repro.obs.profile` — phase hooks combining both (a span plus a
+  ``phase.<name>.seconds`` histogram), and the export/merge convention
+  that ships spans out of forked pool workers.
+
+Quick look::
+
+    from repro import aggregate
+    from repro.obs import tracing, collecting
+
+    with tracing() as trace, collecting() as registry:
+        aggregate(matrix, method="local-search")
+    print(trace.render())
+    print(registry.to_json())
+
+The CLI surfaces the same data via ``--trace`` and ``--metrics-out`` on
+the ``aggregate``, ``portfolio`` and ``stream`` subcommands.
+"""
+
+from .metrics import (
+    MetricsRegistry,
+    collecting,
+    diff_snapshots,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    inc,
+    metrics_enabled,
+    observe,
+    set_gauge,
+)
+from .profile import export_spans, merge_spans, phase, profiled, worker_tracing
+from .trace import Span, Trace, current_trace, is_tracing, span, tracing
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "collecting",
+    "current_trace",
+    "diff_snapshots",
+    "disable_metrics",
+    "enable_metrics",
+    "export_spans",
+    "get_registry",
+    "inc",
+    "is_tracing",
+    "merge_spans",
+    "metrics_enabled",
+    "observe",
+    "phase",
+    "profiled",
+    "set_gauge",
+    "span",
+    "tracing",
+    "worker_tracing",
+]

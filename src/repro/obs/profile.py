@@ -1,0 +1,94 @@
+"""Phase profiling: the glue between spans and metrics.
+
+A *phase* is an algorithm stage worth accounting for separately — a
+SAMPLING sub-build, a LOCALSEARCH refinement pass, a streaming count
+update.  :func:`phase` opens a :class:`~repro.obs.trace.Span` (so the
+stage appears in the trace tree) and, on exit, records the stage's wall
+time into the ``phase.<name>.seconds`` histogram of the default metrics
+registry (so repeated stages accumulate distributions).  Both halves are
+opt-in: without an active trace the span is discarded after timing, and
+without :func:`~repro.obs.metrics.enable_metrics` the histogram write is
+one skipped branch.
+
+The five paper algorithms, the parallel build, the portfolio, the
+streaming engine and :func:`repro.core.aggregate.aggregate` are all
+instrumented through this module — see DESIGN.md §2.5g for the span
+naming scheme.
+
+Forked pool workers profile into their own process-local trace and ship
+:func:`export_spans` payloads back over the result channel; the parent
+re-attaches them with :func:`merge_spans` (one call per worker payload).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TypeVar
+
+from .metrics import observe
+from .trace import Span, Trace, current_trace, span, tracing
+
+__all__ = ["phase", "profiled", "export_spans", "merge_spans", "worker_tracing"]
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+class _Phase(Span):
+    """A span that also feeds the ``phase.<name>.seconds`` histogram."""
+
+    __slots__ = ()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        super().__exit__(*exc_info)
+        observe(f"phase.{self.name}.seconds", self.seconds)
+
+
+def phase(name: str, **attrs: Any) -> _Phase:
+    """Open a profiled phase: ``with phase("sampling.phase1", n=n): ...``.
+
+    Identical to :func:`repro.obs.trace.span` plus a histogram
+    observation of the duration on exit.
+    """
+    return _Phase(name, attrs, current_trace())
+
+
+def profiled(name: str) -> Callable[[_F], _F]:
+    """Decorator form of :func:`phase` for whole-function stages."""
+
+    def wrap(function: _F) -> _F:
+        def wrapped(*args: Any, **kwargs: Any) -> Any:
+            with phase(name):
+                return function(*args, **kwargs)
+
+        wrapped.__name__ = getattr(function, "__name__", name)
+        wrapped.__doc__ = function.__doc__
+        return wrapped  # type: ignore[return-value]
+
+    return wrap
+
+
+# -- worker-side helpers (fork pools) -------------------------------------
+
+
+def worker_tracing() -> Any:
+    """A fresh local trace for one pool task: ``with worker_tracing() as t:``.
+
+    Forked workers inherit the parent's active trace as an unusable
+    copy-on-write ghost (see :func:`repro.obs.trace.current_trace`); this
+    opens a clean process-local trace whose spans the worker exports with
+    :func:`export_spans` and returns alongside its result payload.
+    """
+    return tracing(Trace(name="worker"))
+
+
+def export_spans(trace: Trace) -> list[dict[str, Any]]:
+    """Serialize a worker trace's root spans for the pool result channel."""
+    return [root.to_dict() for root in trace.roots]
+
+
+def merge_spans(payloads: list[dict[str, Any]]) -> None:
+    """Graft worker span payloads into the parent's active trace (if any)."""
+    trace = current_trace()
+    if trace is None:
+        return
+    for payload in payloads:
+        trace.add_dict(payload)

@@ -1,0 +1,300 @@
+"""Nestable wall-time spans: the tracing half of :mod:`repro.obs`.
+
+A :class:`Span` measures one timed region — ``with span("balls.sweep",
+n=n): ...`` — and records arbitrary attributes.  Spans *always* time
+(two ``perf_counter`` calls; the measured value is read back through
+``Span.seconds``, which is how every ``elapsed_seconds`` field in the
+library is produced — timing and tracing can never disagree).  They are
+only *retained* when a :class:`Trace` is active: inside a
+``with tracing() as trace:`` block every span nests under the innermost
+open span of its thread, building a tree that serializes to JSON
+(:meth:`Trace.to_dict` / :meth:`Trace.to_json`) and renders as an
+indented text tree (:meth:`Trace.render`).
+
+Thread and fork safety
+----------------------
+
+Each :class:`Trace` keeps one span stack *per thread* (so concurrent
+threads build disjoint subtrees) and remembers the process id it was
+created in.  A forked worker that inherits an active trace does **not**
+append into the parent's tree — :func:`current_trace` reports the trace
+as inactive under a foreign pid.  Workers that want to contribute spans
+open their own local ``tracing()`` block and ship ``Span.to_dict()``
+payloads back over the pool's result channel; the parent grafts them
+with :meth:`Trace.add_dict` (see :mod:`repro.parallel` for both ends of
+that convention).
+
+This module is intentionally dependency-free (stdlib only) and is the
+single place in the library allowed to call ``time.perf_counter``
+directly (lint rule RPR007).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any
+
+__all__ = [
+    "Span",
+    "Trace",
+    "current_trace",
+    "is_tracing",
+    "span",
+    "tracing",
+]
+
+
+def _clean(value: Any) -> Any:
+    """Attribute values must survive JSON round-trips; stringify the rest."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_clean(item) for item in value]
+    item = getattr(value, "item", None)  # numpy scalars, without importing numpy
+    if callable(item):
+        try:
+            return _clean(item())
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+class Span:
+    """One timed region with attributes and child spans.
+
+    Use through :func:`span`; a Span is its own context manager.  After
+    the ``with`` block exits, :attr:`seconds` holds the wall time.
+    """
+
+    __slots__ = ("name", "attrs", "seconds", "index", "children", "_trace", "_start")
+
+    def __init__(self, name: str, attrs: dict[str, Any], trace: "Trace | None") -> None:
+        self.name = name
+        self.attrs = attrs
+        self.seconds = 0.0
+        self.index = -1  # monotonic ordering within the owning trace
+        self.children: list["Span"] = []
+        self._trace = trace
+        self._start = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes on an open or finished span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        if self._trace is not None:
+            self.index = self._trace._open(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.seconds = time.perf_counter() - self._start
+        if self._trace is not None:
+            self._trace._close(self)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly representation (recursive)."""
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "index": self.index,
+            "attrs": {key: _clean(value) for key, value in self.attrs.items()},
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output (worker import)."""
+        rebuilt = cls(str(payload["name"]), dict(payload.get("attrs", {})), trace=None)
+        rebuilt.seconds = float(payload.get("seconds", 0.0))
+        rebuilt.index = int(payload.get("index", -1))
+        rebuilt.children = [cls.from_dict(child) for child in payload.get("children", [])]
+        return rebuilt
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, seconds={self.seconds:.6f}, children={len(self.children)})"
+
+
+class Trace:
+    """A forest of spans collected while the trace is active.
+
+    One span stack per thread makes concurrent instrumentation safe; the
+    creation pid guards against forked children writing into a tree they
+    only hold a copy of.
+    """
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self.roots: list[Span] = []
+        self._pid = os.getpid()
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._stacks = threading.local()
+
+    # -- span bookkeeping (called by Span.__enter__/__exit__) -----------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._stacks.stack = stack
+        return stack
+
+    def _open(self, opened: Span) -> int:
+        stack = self._stack()
+        with self._lock:
+            self._counter += 1
+            index = self._counter
+            if stack:
+                stack[-1].children.append(opened)
+            else:
+                self.roots.append(opened)
+        stack.append(opened)
+        return index
+
+    def _close(self, closed: Span) -> None:
+        stack = self._stack()
+        while stack:  # tolerate exceptions that skipped inner __exit__ calls
+            if stack.pop() is closed:
+                break
+
+    # -- merging worker payloads ---------------------------------------
+
+    def add_dict(self, payload: dict[str, Any]) -> Span:
+        """Graft a :meth:`Span.to_dict` payload under the innermost open span.
+
+        Forked pool workers cannot write into the parent's tree, so they
+        export their local spans as dicts and the parent re-attaches them
+        here (under whatever span is currently open on the calling
+        thread, or as a new root).
+        """
+        grafted = Span.from_dict(payload)
+        stack = self._stack()
+        with self._lock:
+            if stack:
+                stack[-1].children.append(grafted)
+            else:
+                self.roots.append(grafted)
+        return grafted
+
+    # -- export ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "spans": [root.to_dict() for root in self.roots]}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self, min_seconds: float = 0.0) -> str:
+        """The span forest as an indented text tree.
+
+        ``min_seconds`` prunes spans (and their subtrees) faster than the
+        threshold — handy for deep traces of fast phases.
+        """
+        lines: list[str] = []
+
+        def walk(node: Span, depth: int) -> None:
+            if node.seconds < min_seconds:
+                return
+            label = "  " * depth + node.name
+            attrs = "  ".join(f"{key}={_format(value)}" for key, value in node.attrs.items())
+            lines.append(f"{label:<42s} {1000.0 * node.seconds:>10.2f}ms  {attrs}".rstrip())
+            for child in node.children:
+                walk(child, depth + 1)
+
+        def _format(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.4g}"
+            return str(value)
+
+        for root in self.roots:
+            walk(root, 0)
+        return "\n".join(lines)
+
+    def total_seconds(self) -> float:
+        """Sum of the root span durations."""
+        return sum(root.seconds for root in self.roots)
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with the given name, in monotonic order."""
+        found: list[Span] = []
+
+        def walk(node: Span) -> None:
+            if node.name == name:
+                found.append(node)
+            for child in node.children:
+                walk(child)
+
+        for root in self.roots:
+            walk(root)
+        return sorted(found, key=lambda node: node.index)
+
+    def __repr__(self) -> str:
+        return f"Trace({self.name!r}, roots={len(self.roots)})"
+
+
+# -- module-level activation ----------------------------------------------
+
+_active: Trace | None = None
+
+
+def current_trace() -> Trace | None:
+    """The active trace of *this* process, or ``None``.
+
+    A trace inherited across ``fork`` belongs to the parent; it is
+    reported inactive here so worker spans never vanish into a
+    copy-on-write ghost tree.
+    """
+    trace = _active
+    if trace is not None and trace._pid != os.getpid():
+        return None
+    return trace
+
+
+def is_tracing() -> bool:
+    """Whether a trace is active in this process."""
+    return current_trace() is not None
+
+
+class _Tracing:
+    """Context manager activating (and restoring) the process trace."""
+
+    __slots__ = ("_trace", "_previous")
+
+    def __init__(self, trace: Trace | None) -> None:
+        self._trace = trace if trace is not None else Trace()
+        self._previous: Trace | None = None
+
+    def __enter__(self) -> Trace:
+        global _active
+        self._previous = _active
+        _active = self._trace
+        return self._trace
+
+    def __exit__(self, *exc_info: Any) -> None:
+        global _active
+        _active = self._previous
+
+
+def tracing(trace: Trace | None = None) -> _Tracing:
+    """Activate ``trace`` (or a fresh one) for the duration of the block::
+
+        with tracing() as trace:
+            aggregate(matrix, method="local-search")
+        print(trace.render())
+    """
+    return _Tracing(trace)
+
+
+def span(name: str, **attrs: Any) -> Span:
+    """Open a timed span: ``with span("sampling.phase1", n=n) as sp: ...``.
+
+    Always times; recorded into the active trace only when one exists.
+    The returned object is the :class:`Span` itself, so callers read
+    ``sp.seconds`` after the block — the library's ``elapsed_seconds``
+    fields are all produced this way.
+    """
+    return Span(name, attrs, current_trace())

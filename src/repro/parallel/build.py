@@ -34,6 +34,8 @@ import numpy as np
 from ..core.instance import _BLOCK_ROWS, disagreement_block, disagreement_fractions
 from ..core.labels import validate_label_matrix
 from ..core.objective import ClusterCountTables
+from ..obs.metrics import observe
+from ..obs.trace import span
 from .shm import SharedNDArray, resolve_jobs
 
 __all__ = ["MIN_PARALLEL_ROWS", "parallel_assign", "parallel_disagreement_fractions", "pool"]
@@ -78,14 +80,22 @@ def _init_build_worker(
     _WORKER["missing"] = missing
 
 
-def _build_block(bounds: tuple[int, int]) -> int:
+def _build_block(bounds: tuple[int, int]) -> tuple[int, float]:
+    """Fill one row block of the shared ``X``; returns ``(start, seconds)``.
+
+    The wall time rides back on the result channel so the parent can
+    aggregate per-worker block timings into the
+    ``parallel.build.block_seconds`` histogram (a forked worker's own
+    metrics registry dies with the process).
+    """
     start, stop = bounds
     matrix = _WORKER["matrix"].array
     out = _WORKER["out"].array
-    out[start:stop] = disagreement_block(
-        matrix, start, stop, p=_WORKER["p"], dtype=out.dtype, missing=_WORKER["missing"]
-    )
-    return start
+    with span("build.block", start=start, stop=stop) as block_span:
+        out[start:stop] = disagreement_block(
+            matrix, start, stop, p=_WORKER["p"], dtype=out.dtype, missing=_WORKER["missing"]
+        )
+    return start, block_span.seconds
 
 
 def parallel_disagreement_fractions(
@@ -128,21 +138,26 @@ def parallel_disagreement_fractions(
     if jobs <= 1:
         return disagreement_fractions(matrix, p=p, dtype=np_dtype, missing=missing, n_jobs=1)
 
-    with SharedNDArray.create(matrix.shape, matrix.dtype) as shared_matrix, SharedNDArray.create(
-        (n, n), np_dtype
-    ) as shared_out:
-        shared_matrix.array[...] = matrix
-        workers = pool(
-            jobs,
-            initializer=_init_build_worker,
-            initargs=(shared_matrix.descriptor, shared_out.descriptor, p, missing),
-        )
-        try:
-            workers.map(_build_block, blocks)
-        finally:
-            workers.close()
-            workers.join()
-        X = shared_out.array.copy()
+    with span("parallel.build", n=n, jobs=jobs, blocks=len(blocks)) as build_span:
+        with SharedNDArray.create(
+            matrix.shape, matrix.dtype
+        ) as shared_matrix, SharedNDArray.create((n, n), np_dtype) as shared_out:
+            shared_matrix.array[...] = matrix
+            workers = pool(
+                jobs,
+                initializer=_init_build_worker,
+                initargs=(shared_matrix.descriptor, shared_out.descriptor, p, missing),
+            )
+            try:
+                timings = workers.map(_build_block, blocks)
+            finally:
+                workers.close()
+                workers.join()
+            X = shared_out.array.copy()
+        block_seconds = [seconds for _, seconds in timings]
+        for seconds in block_seconds:
+            observe("parallel.build.block_seconds", seconds)
+        build_span.set(busy_seconds=sum(block_seconds))
     np.fill_diagonal(X, 0.0)
     return X
 
@@ -183,12 +198,13 @@ def parallel_assign(
         return np.empty(0, dtype=np.int64)
     blocks = [rows[start : start + block_size] for start in range(0, rows.size, block_size)]
     jobs = min(resolve_jobs(n_jobs), len(blocks))
-    if jobs <= 1:
-        return np.concatenate([tables.assign(block) for block in blocks])
-    workers = pool(jobs, initializer=_init_assign_worker, initargs=(tables,))
-    try:
-        assigned = workers.map(_assign_block, blocks)
-    finally:
-        workers.close()
-        workers.join()
-    return np.concatenate(assigned)
+    with span("parallel.assign", rows=int(rows.size), jobs=jobs, blocks=len(blocks)):
+        if jobs <= 1:
+            return np.concatenate([tables.assign(block) for block in blocks])
+        workers = pool(jobs, initializer=_init_assign_worker, initargs=(tables,))
+        try:
+            assigned = workers.map(_assign_block, blocks)
+        finally:
+            workers.close()
+            workers.join()
+        return np.concatenate(assigned)

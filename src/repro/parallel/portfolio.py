@@ -18,7 +18,6 @@ Ties on cost resolve to the earliest method in the requested order.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Any
@@ -29,6 +28,9 @@ from ..core.aggregate import STOCHASTIC_METHODS, resolve_inner
 from ..core.instance import CorrelationInstance
 from ..core.labels import as_label_matrix
 from ..core.partition import Clustering
+from ..obs.metrics import inc, observe, set_gauge
+from ..obs.profile import export_spans, merge_spans, worker_tracing
+from ..obs.trace import span
 from .build import pool
 from .shm import SharedNDArray, resolve_jobs
 
@@ -136,11 +138,14 @@ def _execute(
     algorithm = resolve_inner(name)
     if child_rng is not None:
         kwargs = {"rng": child_rng, **kwargs}
-    start = time.perf_counter()
-    clustering = algorithm(instance, **kwargs)
-    elapsed = time.perf_counter() - start
-    cost = instance.cost(clustering)
-    return clustering.labels, cost, clustering.k, elapsed
+    with span(f"member:{name}", method=name) as member_span:
+        with span("solve") as solve_span:
+            clustering = algorithm(instance, **kwargs)
+        cost = instance.cost(clustering)
+        member_span.set(cost=cost, k=clustering.k)
+    observe("portfolio.member.cost", cost)
+    observe("portfolio.member.seconds", solve_span.seconds)
+    return clustering.labels, cost, clustering.k, solve_span.seconds
 
 
 def _init_portfolio_worker(
@@ -155,9 +160,15 @@ def _init_portfolio_worker(
     _WORKER["specs"] = specs
 
 
-def _run_portfolio_member(index: int) -> tuple[int, np.ndarray, float, int, float]:
-    labels, cost, k, elapsed = _execute(_WORKER["instance"], _WORKER["specs"][index])
-    return (index, labels, cost, k, elapsed)
+def _run_portfolio_member(
+    index: int,
+) -> tuple[int, np.ndarray, float, int, float, list[dict[str, Any]]]:
+    # Spans recorded in a forked worker would vanish with the process, so
+    # each member profiles into a local trace and ships it back with the
+    # result payload (a few hundred bytes) for the parent to graft.
+    with worker_tracing() as trace:
+        labels, cost, k, elapsed = _execute(_WORKER["instance"], _WORKER["specs"][index])
+    return (index, labels, cost, k, elapsed, export_spans(trace))
 
 
 def portfolio(
@@ -205,23 +216,29 @@ def portfolio(
     specs = _method_specs(methods, params, rng)
     jobs = min(resolve_jobs(n_jobs), len(specs))
 
-    start = time.perf_counter()
-    if jobs <= 1:
-        outcomes = [(i, *_execute(instance, spec)) for i, spec in enumerate(specs)]
-    else:
-        with SharedNDArray.create(instance.X.shape, instance.X.dtype) as shared:
-            shared.array[...] = instance.X
-            workers = pool(
-                jobs,
-                initializer=_init_portfolio_worker,
-                initargs=(shared.descriptor, instance.m, instance.weights, specs),
-            )
-            try:
-                outcomes = workers.map(_run_portfolio_member, range(len(specs)))
-            finally:
-                workers.close()
-                workers.join()
-    elapsed = time.perf_counter() - start
+    with span("portfolio", jobs=jobs, n=instance.n, methods=[s[0] for s in specs]) as root:
+        if jobs <= 1:
+            outcomes = [(i, *_execute(instance, spec)) for i, spec in enumerate(specs)]
+        else:
+            with SharedNDArray.create(instance.X.shape, instance.X.dtype) as shared:
+                shared.array[...] = instance.X
+                workers = pool(
+                    jobs,
+                    initializer=_init_portfolio_worker,
+                    initargs=(shared.descriptor, instance.m, instance.weights, specs),
+                )
+                try:
+                    worker_outcomes = workers.map(_run_portfolio_member, range(len(specs)))
+                finally:
+                    workers.close()
+                    workers.join()
+            outcomes = []
+            for index, labels, cost, k, member_elapsed, spans in worker_outcomes:
+                merge_spans(spans)
+                outcomes.append((index, labels, cost, k, member_elapsed))
+    elapsed = root.seconds
+    inc("portfolio.runs")
+    set_gauge("portfolio.jobs", jobs)
 
     outcomes.sort(key=lambda outcome: outcome[0])
     runs = tuple(
@@ -230,6 +247,7 @@ def portfolio(
     )
     best_index = min(range(len(runs)), key=lambda i: (runs[i].cost, i))
     best_labels = outcomes[best_index][1]
+    root.set(winner=runs[best_index].method, cost=runs[best_index].cost)
     return PortfolioResult(
         best=Clustering(best_labels),
         best_method=runs[best_index].method,

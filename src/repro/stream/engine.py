@@ -39,7 +39,6 @@ long-running engine survives restarts through
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -51,6 +50,8 @@ from ..algorithms.sampling import sampling
 from ..core.instance import CorrelationInstance
 from ..core.objective import MoveEvaluator
 from ..core.partition import Clustering
+from ..obs.metrics import inc
+from ..obs.trace import span
 from .instance import IncrementalCorrelationInstance
 
 __all__ = ["StreamingAggregator", "StreamUpdate", "StreamStats"]
@@ -280,52 +281,63 @@ class StreamingAggregator:
         appended to :attr:`history`).
         """
         column = np.asarray(labels)
-        start = time.perf_counter()
-        weight_before = self._incremental.effective_m
-        self._incremental.observe(column)
-        observe_seconds = time.perf_counter() - start
+        with span("stream.observe", index=self._incremental.count + 1) as observe_span:
+            weight_before = self._incremental.effective_m
+            self._incremental.observe(column)
+        observe_seconds = observe_span.seconds
 
-        start = time.perf_counter()
         moves = sweeps = 0
         used_sampling = False
-        if self.n > self._sampling_threshold:
-            used_sampling = True
-            instance = self._incremental.instance()
-            self._consensus = sampling(
-                instance,
-                inner=local_search,
-                sample_size=self._sample_size,
-                rng=self._rng,
-            )
-        else:
-            instance = self._refresh_instance()
-            evaluator = self._evaluator
-            if (
-                evaluator is not None
-                and self._incremental.missing == "coin-flip"
-                and self._updates_since_sync < self._resync_every
-            ):
-                # Affine X update: follow it on the live evaluator in O(n·k).
-                weight_after = self._incremental.effective_m
-                scale = self._incremental.decay * weight_before / weight_after
-                evaluator.apply_stream_update(
-                    column, self._incremental.p, scale, 1.0 / weight_after
+        with span("stream.refine") as refine_span:
+            if self.n > self._sampling_threshold:
+                used_sampling = True
+                inc("stream.sampling_updates")
+                refine_span.set(mode="sampling")
+                instance = self._incremental.instance()
+                self._consensus = sampling(
+                    instance,
+                    inner=local_search,
+                    sample_size=self._sample_size,
+                    rng=self._rng,
                 )
-                self._updates_since_sync += 1
             else:
-                initial = (
-                    Clustering.singletons(self.n) if self._consensus is None else self._consensus
-                )
-                evaluator = MoveEvaluator(instance, initial)
-                self._evaluator = evaluator
-                self._updates_since_sync = 0
-            details = refine(evaluator, max_sweeps=self._max_sweeps)
-            self._consensus = evaluator.clustering()
-            # Shrink freed slots and renumber canonically so the next
-            # O(n·k) mass update really is O(n·k), not O(n·slots-ever).
-            evaluator.compact()
-            moves, sweeps = details.moves, details.sweeps
-        refine_seconds = time.perf_counter() - start
+                instance = self._refresh_instance()
+                evaluator = self._evaluator
+                if (
+                    evaluator is not None
+                    and self._incremental.missing == "coin-flip"
+                    and self._updates_since_sync < self._resync_every
+                ):
+                    # Affine X update: follow it on the live evaluator in O(n·k).
+                    inc("stream.warm_updates")
+                    refine_span.set(mode="incremental")
+                    weight_after = self._incremental.effective_m
+                    scale = self._incremental.decay * weight_before / weight_after
+                    evaluator.apply_stream_update(
+                        column, self._incremental.p, scale, 1.0 / weight_after
+                    )
+                    self._updates_since_sync += 1
+                else:
+                    # Full evaluator rebuild: first update, non-affine
+                    # missing model, or the periodic drift resync.
+                    inc("stream.rebuilds")
+                    refine_span.set(mode="rebuild")
+                    initial = (
+                        Clustering.singletons(self.n)
+                        if self._consensus is None
+                        else self._consensus
+                    )
+                    evaluator = MoveEvaluator(instance, initial)
+                    self._evaluator = evaluator
+                    self._updates_since_sync = 0
+                details = refine(evaluator, max_sweeps=self._max_sweeps)
+                self._consensus = evaluator.clustering()
+                # Shrink freed slots and renumber canonically so the next
+                # O(n·k) mass update really is O(n·k), not O(n·slots-ever).
+                evaluator.compact()
+                moves, sweeps = details.moves, details.sweeps
+                refine_span.set(moves=moves, sweeps=sweeps)
+        refine_seconds = refine_span.seconds
 
         evaluator = self._evaluator
         if used_sampling or evaluator is None:

@@ -163,3 +163,79 @@ class TestStreamCli:
         assert main(["stream", votes_csv, "--sampling-threshold", "50", "--json"]) == 0
         report = json.loads(capsys.readouterr().out)
         assert all(update["used_sampling"] for update in report["updates"])
+
+
+class TestObservabilityFlags:
+    """The --trace / --metrics-out surface shared by aggregate, portfolio
+    and stream."""
+
+    @staticmethod
+    def _span_millis(rendered: str, prefix: str) -> list[float]:
+        import re
+
+        out = []
+        for line in rendered.splitlines():
+            stripped = line.strip()
+            if stripped.startswith(prefix):
+                match = re.search(r"(\d+(?:\.\d+)?)ms", stripped)
+                assert match is not None, f"span line without a timing: {line!r}"
+                out.append(float(match.group(1)))
+        return out
+
+    def test_portfolio_trace_member_totals_cover_the_root(self, votes_csv, capsys):
+        assert main(["portfolio", votes_csv, "--jobs", "1", "--trace"]) == 0
+        out = capsys.readouterr().out
+        roots = self._span_millis(out, "portfolio ")
+        members = self._span_millis(out, "member:")
+        assert len(roots) == 1
+        assert members, "no member spans rendered"
+        member_total = sum(members)
+        # Acceptance bound: members account for the root to within 5%
+        # (plus a 2ms absolute floor for tiny instances).
+        assert abs(roots[0] - member_total) <= max(0.05 * roots[0], 2.0), out
+
+    def test_aggregate_trace_renders_build_and_solve(self, votes_csv, capsys):
+        assert main(["aggregate", votes_csv, "--method", "balls", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate" in out
+        assert "build" in out
+        assert "solve" in out
+        assert "balls.sweep" in out
+
+    def test_trace_with_json_report_keeps_stdout_parseable(self, votes_csv, capsys):
+        assert main(["portfolio", votes_csv, "--jobs", "1", "--trace", "--json"]) == 0
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)  # tree went to stderr, not stdout
+        assert report["best_method"]
+        assert "portfolio" in captured.err
+
+    def test_metrics_out_writes_a_valid_snapshot(self, votes_csv, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["portfolio", votes_csv, "--jobs", "1", "--metrics-out", str(metrics_path)]) == 0
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["counters"]["portfolio.runs"] == 1
+        assert snapshot["counters"]["instance.builds"] >= 1
+        assert "portfolio.member.seconds" in snapshot["histograms"]
+        assert f"metrics written  {metrics_path}" in capsys.readouterr().out
+
+    def test_metrics_out_flag_does_not_leak_global_state(self, votes_csv, tmp_path, capsys):
+        from repro.obs import get_registry
+
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["aggregate", votes_csv, "--metrics-out", str(metrics_path)]) == 0
+        capsys.readouterr()
+        assert not get_registry().enabled
+
+    def test_stream_supports_observability_flags(self, votes_csv, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        code = main(["stream", votes_csv, "--trace", "--metrics-out", str(metrics_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stream.observe" in out
+        snapshot = json.loads(metrics_path.read_text())
+        update_counters = [
+            count
+            for name, count in snapshot["counters"].items()
+            if name in ("stream.warm_updates", "stream.rebuilds", "stream.sampling_updates")
+        ]
+        assert sum(update_counters) >= 1

@@ -1,0 +1,149 @@
+"""Differential testing sweep: every heuristic vs the exact oracle.
+
+Each case draws a small random aggregation problem (``n <= 7`` objects, so
+:func:`repro.algorithms.exact.exact_optimum` enumerates the ground truth
+in milliseconds), optionally punches a deterministic missing-value pattern
+into the label matrix, and then checks every paper algorithm against the
+optimum:
+
+- no algorithm ever reports a cost *below* the optimum (they all return
+  feasible clusterings scored by the same objective);
+- BALLS at ``THEORY_ALPHA`` stays within its proven factor-3 guarantee;
+- AGGLOMERATIVE stays within factor 2 on ``m = 3`` inputs (the paper's
+  majority-respecting bound);
+- LOCALSEARCH never ends above its starting cost, from any start;
+- ``aggregate(method=...)`` reports exactly the cost of the underlying
+  algorithm it dispatches to.
+
+Every assertion message embeds the generating ``(n, m, k, seed,
+missing)`` tuple so a failing case reproduces with a one-liner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.agglomerative import agglomerative
+from repro.algorithms.balls import THEORY_ALPHA, balls
+from repro.algorithms.exact import exact_optimum
+from repro.algorithms.furthest import furthest
+from repro.algorithms.local_search import local_search
+from repro.algorithms.sampling import sampling
+from repro.core.aggregate import aggregate
+from repro.core.instance import CorrelationInstance
+from repro.core.labels import MISSING
+from repro.core.partition import Clustering
+
+_EPS = 1e-9
+
+# The sweep grid: every (n, m, missing) combination for two seeds each.
+CASES = [
+    (n, m, seed, missing)
+    for n in (3, 4, 5, 6, 7)
+    for m in (2, 3, 5)
+    for seed in (0, 1)
+    for missing in (0.0, 0.25)
+]
+
+
+def _case_id(case: tuple[int, int, int, float]) -> str:
+    n, m, seed, missing = case
+    return f"n{n}-m{m}-s{seed}-miss{missing}"
+
+
+def _build_case(
+    n: int, m: int, seed: int, missing: float
+) -> tuple[np.ndarray, CorrelationInstance, int]:
+    """A reproducible random aggregation problem, possibly with holes."""
+    rng = np.random.default_rng(seed * 10_007 + n * 101 + m)
+    k = int(rng.integers(2, max(3, n)))
+    matrix = rng.integers(0, k, size=(n, m)).astype(np.int64)
+    if missing > 0.0:
+        holes = rng.random(size=matrix.shape) < missing
+        holes[0, :] = False  # a fully-missing input clustering is invalid
+        matrix[holes] = MISSING
+    return matrix, CorrelationInstance.from_label_matrix(matrix), k
+
+
+@pytest.mark.parametrize("case", CASES, ids=_case_id)
+def test_heuristics_against_the_exact_oracle(case: tuple[int, int, int, float]) -> None:
+    n, m, seed, missing = case
+    matrix, instance, k = _build_case(n, m, seed, missing)
+    context = f"case n={n} m={m} k={k} seed={seed} missing={missing}"
+
+    _, opt_cost = exact_optimum(instance)
+
+    heuristics = {
+        "balls": balls(instance, alpha=THEORY_ALPHA),
+        "agglomerative": agglomerative(instance),
+        "furthest": furthest(instance),
+        "local-search": local_search(instance, rng=seed),
+        "sampling": sampling(instance, inner=agglomerative, sample_size=n, rng=seed),
+    }
+    costs = {name: instance.cost(clustering) for name, clustering in heuristics.items()}
+
+    # Feasibility: the oracle is a true lower bound for every heuristic.
+    for name, cost in costs.items():
+        assert cost >= opt_cost - _EPS, (
+            f"{name} reported cost {cost} below the exact optimum {opt_cost} — "
+            f"oracle or objective bug ({context})"
+        )
+
+    # BALLS: Theorem 1's 3-approximation at the proof's alpha.
+    assert costs["balls"] <= 3.0 * opt_cost + _EPS, (
+        f"balls(alpha={THEORY_ALPHA}) cost {costs['balls']} exceeds 3x the "
+        f"optimum {opt_cost} ({context})"
+    )
+
+    # AGGLOMERATIVE: factor 2 on three input clusterings.
+    if m == 3:
+        assert costs["agglomerative"] <= 2.0 * opt_cost + _EPS, (
+            f"agglomerative cost {costs['agglomerative']} exceeds 2x the "
+            f"optimum {opt_cost} on an m=3 instance ({context})"
+        )
+
+
+@pytest.mark.parametrize("case", CASES[:: len(CASES) // 15 or 1], ids=_case_id)
+def test_local_search_never_worsens_any_start(case: tuple[int, int, int, float]) -> None:
+    n, m, seed, missing = case
+    _, instance, k = _build_case(n, m, seed, missing)
+    context = f"case n={n} m={m} k={k} seed={seed} missing={missing}"
+
+    rng = np.random.default_rng(seed)
+    starts = {
+        "singletons": Clustering.singletons(n),
+        "one-cluster": Clustering.single_cluster(n),
+        "random": Clustering(rng.integers(0, max(2, n // 2), size=n)),
+        "balls": balls(instance),
+    }
+    for label, start in starts.items():
+        start_cost = instance.cost(start)
+        refined = local_search(instance, initial=start)
+        refined_cost = instance.cost(refined)
+        assert refined_cost <= start_cost + _EPS, (
+            f"local_search from {label} start rose from {start_cost} to "
+            f"{refined_cost} ({context})"
+        )
+
+
+@pytest.mark.parametrize("method", ["balls", "agglomerative", "furthest", "local-search"])
+def test_aggregate_reports_the_dispatched_algorithm_cost(method: str) -> None:
+    matrix, instance, _ = _build_case(n=7, m=3, seed=0, missing=0.0)
+    direct = {
+        "balls": balls(instance),
+        "agglomerative": agglomerative(instance),
+        "furthest": furthest(instance),
+        "local-search": local_search(instance, rng=0),
+    }[method]
+    params = {"rng": 0} if method == "local-search" else {}
+    result = aggregate(matrix, method=method, **params)
+    assert result.cost == pytest.approx(instance.cost(direct))
+    assert np.array_equal(result.clustering.labels, direct.labels)
+
+
+def test_exact_oracle_matches_figure1(figure1_instance, figure1_optimum) -> None:
+    """Anchor the oracle itself against the paper's hand-checked example."""
+    best, cost = exact_optimum(figure1_instance)
+    assert cost == pytest.approx(figure1_instance.cost(figure1_optimum))
+    assert np.array_equal(best.labels, figure1_optimum.labels)

@@ -175,6 +175,94 @@ class TestAlgorithmInvariants:
         assert Clustering(original.labels[order]) == permuted
 
 
+class TestMetamorphicRelations:
+    """Metamorphic transforms of the *input* with predictable output effects.
+
+    Complementing the differential sweep (tests/test_differential_oracle.py),
+    these need no oracle: each transform has a provable relation between
+    the original and transformed runs, checked exactly.
+    """
+
+    @settings(max_examples=10, deadline=None)
+    @given(problems, st.integers(0, 3))
+    def test_relabeling_invariance_covers_stochastic_methods(self, problem, perm_seed):
+        """Input-label renames leave X bit-identical, so even the seeded
+        stochastic methods (same rng) must return the same clustering."""
+        n, m, k, seed = problem
+        matrix = build(n, m, k, seed)
+        rng = np.random.default_rng(perm_seed)
+        permuted = matrix.copy()
+        for j in range(m):
+            top = permuted[:, j].max() + 1
+            mapping = rng.permutation(top)
+            permuted[:, j] = mapping[permuted[:, j]]
+        instance_a = CorrelationInstance.from_label_matrix(matrix)
+        instance_b = CorrelationInstance.from_label_matrix(permuted)
+        assert np.array_equal(instance_a.X, instance_b.X)
+        for method in ("local-search", "sampling"):
+            a = aggregate(matrix, method=method, rng=7, compute_lower_bound=False)
+            b = aggregate(permuted, method=method, rng=7, compute_lower_bound=False)
+            assert a.clustering == b.clustering, method
+
+    @settings(max_examples=10, deadline=None)
+    @given(problems)
+    def test_duplicating_the_input_clusterings_is_invariant(self, problem):
+        """Concatenating the input set with itself leaves every pairwise
+        disagreement *fraction* unchanged, so the consensus is identical
+        and D(C) exactly doubles."""
+        n, m, k, seed = problem
+        matrix = build(n, m, k, seed)
+        doubled = np.concatenate([matrix, matrix], axis=1)
+        instance = CorrelationInstance.from_label_matrix(matrix)
+        instance_doubled = CorrelationInstance.from_label_matrix(doubled)
+        assert np.array_equal(instance.X, instance_doubled.X)
+        for method in ("balls", "agglomerative", "furthest", "local-search"):
+            a = aggregate(matrix, method=method, compute_lower_bound=False)
+            b = aggregate(doubled, method=method, compute_lower_bound=False)
+            assert a.clustering == b.clustering, method
+            assert b.disagreements == pytest.approx(2.0 * a.disagreements), method
+
+    @settings(max_examples=15, deadline=None)
+    @given(problems)
+    def test_atom_compression_preserves_weighted_cost(self, problem):
+        """Collapsing duplicate rows into weighted atoms preserves the
+        objective: the weighted cost of any atom clustering equals the
+        expanded clustering's total disagreement over the full matrix."""
+        from repro.core.atoms import collapse_duplicates
+
+        n, m, k, seed = problem
+        # Force duplicates: few labels over few columns on a stretched n.
+        matrix = build(2 * n, min(m, 2), min(k, 2), seed)
+        atoms = collapse_duplicates(matrix)
+        weighted = CorrelationInstance.from_label_matrix(
+            atoms.matrix, weights=atoms.weights
+        )
+        rng = np.random.default_rng(seed + 5)
+        atom_clustering = Clustering(rng.integers(0, 3, size=atoms.n_atoms))
+        expanded = atoms.expand(atom_clustering)
+        assert weighted.m * weighted.cost(atom_clustering) == pytest.approx(
+            total_disagreement(matrix, expanded)
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(problems)
+    def test_atom_compression_cost_monotonicity(self, problem):
+        """Solving on the collapsed instance never beats the exact optimum
+        of the expanded problem, and collapse=True reports costs in the
+        expanded objective's units."""
+        n, m, k, seed = problem
+        matrix = build(min(2 * n, 14), min(m, 2), min(k, 2), seed)
+        instance = CorrelationInstance.from_label_matrix(matrix)
+        _, optimum = exact_optimum(instance)
+        collapsed = aggregate(
+            matrix, method="agglomerative", collapse=True, compute_lower_bound=False
+        )
+        plain = aggregate(matrix, method="agglomerative", compute_lower_bound=False)
+        assert collapsed.clustering.n == matrix.shape[0]
+        assert collapsed.cost >= optimum - 1e-9
+        assert collapsed.cost <= plain.cost + 1e-9
+
+
 class TestMirkinMetricAxioms:
     @settings(max_examples=30, deadline=None)
     @given(st.integers(0, 10_000))

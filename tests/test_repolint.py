@@ -338,6 +338,73 @@ def test_rpr006_suppressible_inline() -> None:
 
 
 # ---------------------------------------------------------------------------
+# RPR007: raw perf_counter outside repro.obs
+# ---------------------------------------------------------------------------
+
+OBS = "src/repro/obs/snippet.py"
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import time\nt = time.perf_counter()\n",
+        "import time\nt = time.perf_counter_ns()\n",
+        "import time as t\nstart = t.perf_counter()\n",
+        "from time import perf_counter\n",
+        "from time import perf_counter_ns\n",
+        "from time import perf_counter as clock\n",
+    ],
+)
+def test_rpr007_flags_raw_perf_counter(source: str) -> None:
+    assert codes(source) == ["RPR007"]
+    assert codes(source, path=ALGOS) == ["RPR007"]
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import time\nt = time.perf_counter()\n",
+        "from time import perf_counter\n",
+    ],
+)
+def test_rpr007_exempts_the_obs_package(source: str) -> None:
+    assert codes(source, path=OBS) == []
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import time\nt = time.perf_counter()\n",
+        "from time import perf_counter\n",
+    ],
+)
+def test_rpr007_scoped_to_library_files(source: str) -> None:
+    # Tests and benchmarks may time things however they like.
+    assert codes(source, path=OUTSIDE) == []
+    assert codes(source, path="benchmarks/bench_x.py") == []
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        # Non-profiling time functions stay legal everywhere.
+        "import time\ntime.sleep(0.1)\n",
+        "import time\nnow = time.monotonic()\n",
+        "from time import sleep\n",
+        # A local variable named `time` is not the stdlib module.
+        "def f(time):\n    return time.perf_counter()\n",
+    ],
+)
+def test_rpr007_allows_other_time_functions(source: str) -> None:
+    assert codes(source) == []
+
+
+def test_rpr007_suppressible_inline() -> None:
+    source = "import time\nt = time.perf_counter()  # repolint: disable=RPR007\n"
+    assert codes(source) == []
+
+
+# ---------------------------------------------------------------------------
 # Findings, path handling, CLI
 # ---------------------------------------------------------------------------
 
@@ -393,18 +460,20 @@ def test_main_json_reports_every_rule_id(tmp_path, capsys) -> None:
     (core / "r4.py").write_text("def f(items=[]):\n    return items\n")
     (algos / "r5.py").write_text("def sample(data, seed=0):\n    return data\n")
     (core / "r6.py").write_text("from multiprocessing import Pool\n")
+    (core / "r7.py").write_text("from time import perf_counter\n")
 
     exit_code = main(["--json", str(tmp_path)])
     report = json.loads(capsys.readouterr().out)
 
     assert exit_code == 1
-    assert report["files_checked"] == 6
+    assert report["files_checked"] == 7
     seen = {finding["rule"] for finding in report["findings"]}
-    assert seen == {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"}
+    assert seen == {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007"}
     by_rule = {f["rule"]: f for f in report["findings"]}
     assert by_rule["RPR001"]["path"].endswith("r1.py")
     assert by_rule["RPR005"]["path"].endswith("r5.py")
     assert by_rule["RPR006"]["path"].endswith("r6.py")
+    assert by_rule["RPR007"]["path"].endswith("r7.py")
 
 
 def test_repository_is_lint_clean() -> None:
