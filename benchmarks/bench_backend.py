@@ -1,0 +1,275 @@
+"""Backend memory benchmark: dense vs lazy peak RSS and wall time at large n.
+
+The lazy label-backed :class:`~repro.core.backend.LazyLabelBackend` exists
+so BALLS and SAMPLING can run at ``n`` where the dense ``(n, n)`` matrix
+does not fit: it stores the ``(n, m)`` labels and computes distance row
+blocks on demand.  This bench puts a number on that claim — for each
+``(algorithm, n, backend)`` configuration it runs the full
+build-plus-solve in a **fresh subprocess** and records the child's peak
+RSS (``resource.getrusage``) and wall time.  A subprocess per
+configuration is not optional: ``ru_maxrss`` is a monotone high-water
+mark, so measurements inside one process would contaminate each other.
+
+The dense configuration at the largest size is *skipped, not attempted*
+(a ~10 GB matrix allocation proves nothing about the lazy path), with
+the reason recorded in the structured output.
+
+Runs three ways:
+
+- under pytest-benchmark with the other benches, at quick sizes
+  (``pytest benchmarks/bench_backend.py``);
+- standalone for the committed report: ``python benchmarks/bench_backend.py``
+  emits ``reports/BENCH_backend.json`` + ``reports/backend_memory.txt``;
+- CI smoke: ``python benchmarks/bench_backend.py --smoke`` runs only the
+  lazy configurations at n = 20000 (honours ``REPRO_JOBS``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+if str(SRC_DIR) not in sys.path:
+    sys.path.insert(0, str(SRC_DIR))
+
+from repro.experiments import banner, render_table  # noqa: E402
+
+_M = 8
+_K = 10
+_NOISE = 0.15
+_SIZES = (5_000, 20_000, 50_000)
+_QUICK_SIZES = (1_500,)
+_SMOKE_SIZE = 20_000
+_ALGORITHMS = ("balls", "sampling")
+#: Above this n the dense configuration is skipped outright.
+_DENSE_SKIP_N = 50_000
+
+
+def _label_matrix(n: int, seed: int) -> np.ndarray:
+    """Planted-cluster inputs: each clustering is the ground truth plus noise.
+
+    Uniform random labels would make every pair distance ~(k-1)/k >> 1/2 and
+    degenerate BALLS into n singleton balls — structured inputs are both the
+    realistic workload and the one where cluster count stays O(k).
+    """
+    rng = np.random.default_rng(seed)
+    truth = rng.integers(0, _K, size=n)
+    matrix = np.repeat(truth[:, None], _M, axis=1)
+    flips = rng.random((n, _M)) < _NOISE
+    matrix[flips] = rng.integers(0, _K, size=int(flips.sum()))
+    return matrix.astype(np.int32)
+
+
+def _peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes (Linux: KiB units)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak * (1 if sys.platform == "darwin" else 1024)
+
+
+def measure(backend: str, n: int, algorithm: str) -> dict:
+    """Child-process body: build the instance, run one algorithm, report."""
+    from repro.algorithms.agglomerative import agglomerative
+    from repro.algorithms.balls import balls
+    from repro.algorithms.sampling import sampling
+    from repro.core.instance import CorrelationInstance
+
+    matrix = _label_matrix(n, seed=n)
+    start = time.perf_counter()
+    instance = CorrelationInstance.from_label_matrix(matrix, n_jobs=None, backend=backend)
+    build_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    if algorithm == "balls":
+        clustering = balls(instance)
+    elif algorithm == "sampling":
+        clustering = sampling(instance, agglomerative, rng=0, n_jobs=None)
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    solve_seconds = time.perf_counter() - start
+
+    return {
+        "backend": backend,
+        "n": n,
+        "m": _M,
+        "algorithm": algorithm,
+        "k": clustering.k,
+        "build_seconds": build_seconds,
+        "solve_seconds": solve_seconds,
+        "peak_rss_bytes": _peak_rss_bytes(),
+    }
+
+
+def _measure_in_subprocess(backend: str, n: int, algorithm: str) -> dict:
+    """Run one configuration in a fresh interpreter for a clean RSS high-water."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, __file__, "--measure", backend, str(n), algorithm],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    if completed.returncode != 0:
+        return {
+            "backend": backend,
+            "n": n,
+            "algorithm": algorithm,
+            "error": completed.stderr.strip().splitlines()[-1] if completed.stderr else "crashed",
+        }
+    return json.loads(completed.stdout)
+
+
+def _sweep(sizes: tuple[int, ...], backends: tuple[str, ...]) -> list[dict]:
+    results: list[dict] = []
+    for n in sizes:
+        for algorithm in _ALGORITHMS:
+            for backend in backends:
+                if backend == "dense" and n >= _DENSE_SKIP_N:
+                    results.append(
+                        {
+                            "backend": backend,
+                            "n": n,
+                            "algorithm": algorithm,
+                            "skipped": (
+                                "dense X at this n is a ~10 GB float32 allocation; "
+                                "the configuration exists only to be avoided"
+                            ),
+                        }
+                    )
+                    continue
+                results.append(_measure_in_subprocess(backend, n, algorithm))
+    return results
+
+
+def _ratios(results: list[dict]) -> list[dict]:
+    """Lazy-vs-dense peak-RSS ratio per (algorithm, n) where both ran."""
+    by_key = {
+        (r["algorithm"], r["n"], r["backend"]): r for r in results if "peak_rss_bytes" in r
+    }
+    ratios = []
+    for algorithm in _ALGORITHMS:
+        for n in sorted({r["n"] for r in results}):
+            dense = by_key.get((algorithm, n, "dense"))
+            lazy = by_key.get((algorithm, n, "lazy"))
+            if dense and lazy:
+                ratios.append(
+                    {
+                        "algorithm": algorithm,
+                        "n": n,
+                        "lazy_over_dense_peak_rss": lazy["peak_rss_bytes"]
+                        / dense["peak_rss_bytes"],
+                    }
+                )
+    return ratios
+
+
+def _render(results: list[dict], ratios: list[dict]) -> str:
+    rows = []
+    for r in results:
+        if "skipped" in r:
+            rows.append((r["algorithm"], f"{r['n']:,}", r["backend"], "skipped", "--", "--"))
+        elif "error" in r:
+            rows.append((r["algorithm"], f"{r['n']:,}", r["backend"], "error", "--", "--"))
+        else:
+            rows.append(
+                (
+                    r["algorithm"],
+                    f"{r['n']:,}",
+                    r["backend"],
+                    f"{r['peak_rss_bytes'] / 2**20:,.0f} MiB",
+                    f"{r['build_seconds']:.2f}",
+                    f"{r['solve_seconds']:.2f}",
+                )
+            )
+    text = render_table(
+        ("algorithm", "n", "backend", "peak RSS", "build s", "solve s"),
+        rows,
+        title=banner(f"pair-distance backends — peak memory (m={_M})"),
+    )
+    if ratios:
+        ratio_rows = [
+            (r["algorithm"], f"{r['n']:,}", f"{100.0 * r['lazy_over_dense_peak_rss']:.1f}%")
+            for r in ratios
+        ]
+        text += "\n\n" + render_table(
+            ("algorithm", "n", "lazy / dense peak RSS"), ratio_rows
+        )
+    return text
+
+
+def _write_json(payload: dict) -> Path:
+    reports = Path(__file__).resolve().parent.parent / "reports"
+    reports.mkdir(exist_ok=True)
+    path = reports / "BENCH_backend.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def bench_backend(benchmark, report):
+    """pytest entry: quick subprocess sweep, report only (no committed JSON)."""
+    from conftest import once
+
+    results = once(benchmark, lambda: _sweep(_QUICK_SIZES, ("dense", "lazy")))
+    ratios = _ratios(results)
+    report("backend_memory_quick", _render(results, ratios))
+    measured = [r for r in results if "peak_rss_bytes" in r]
+    assert len(measured) == len(results), f"configurations failed: {results}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--measure",
+        nargs=3,
+        metavar=("BACKEND", "N", "ALGORITHM"),
+        help="internal: measure one configuration and print JSON",
+    )
+    parser.add_argument("--quick", action="store_true", help="small sizes for local sanity runs")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke: lazy-only configurations at n=20000 (honours REPRO_JOBS)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.measure:
+        backend, n, algorithm = args.measure
+        print(json.dumps(measure(backend, int(n), algorithm)))
+        return 0
+
+    if args.smoke:
+        sizes: tuple[int, ...] = (_SMOKE_SIZE,)
+        backends: tuple[str, ...] = ("lazy",)
+    elif args.quick:
+        sizes, backends = _QUICK_SIZES, ("dense", "lazy")
+    else:
+        sizes, backends = _SIZES, ("dense", "lazy")
+
+    results = _sweep(sizes, backends)
+    ratios = _ratios(results)
+    text = _render(results, ratios)
+    print(text)
+    if not (args.smoke or args.quick):
+        payload = {"m": _M, "k": _K, "results": results, "ratios": ratios}
+        path = _write_json(payload)
+        path.with_name("backend_memory.txt").write_text(text + "\n")
+        print(f"\nstructured output: {path}")
+    failed = [r for r in results if "error" in r]
+    if failed:
+        print(f"\n{len(failed)} configuration(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

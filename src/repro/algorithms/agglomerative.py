@@ -61,9 +61,10 @@ def agglomerative(
 
     with phase("agglomerative.init", n=n):
         # Working copy: float64 for exactness on small instances, float32 to
-        # halve memory at paper scale.
+        # halve memory at paper scale.  Average linkage mutates the full
+        # cluster-distance matrix, so even a lazy instance materializes here.
         dtype = np.float64 if n <= 4096 else np.float32
-        D = instance.X.astype(dtype, copy=True)
+        D = instance.backend.materialize(dtype, copy=True)
         np.fill_diagonal(D, np.inf)
 
         active = np.ones(n, dtype=bool)

@@ -58,12 +58,13 @@ def balls(
         raise ValueError(f"alpha must be in [0, 1], got {alpha}")
     if not 0.0 < radius <= 1.0:
         raise ValueError(f"radius must be in (0, 1], got {radius}")
-    X = instance.X
+    backend = instance.backend
     n = instance.n
     node_weights = instance.effective_weights()
     with phase("balls.sort", n=n):
         if sort_by_weight:
-            incident = X.astype(np.float64) @ node_weights
+            # Blocked matvec: no X.astype(np.float64) full-matrix copy.
+            incident = backend.matvec(node_weights)
             order = np.argsort(incident, kind="stable")
         else:
             order = np.arange(n)
@@ -76,7 +77,10 @@ def balls(
         for u in order:
             if not unclustered[u]:
                 continue
-            in_ball = unclustered & (X[u] <= radius)
+            # One row fetch per emitted cluster/singleton; on the lazy
+            # backend this is O(n·m) instead of touching a stored matrix.
+            row = backend.row(int(u))
+            in_ball = unclustered & (row <= radius)
             in_ball[u] = False
             ball = np.flatnonzero(in_ball)
             accepted = False
@@ -84,7 +88,7 @@ def balls(
                 # Weighted average over the expanded objects in the ball —
                 # including u's own duplicates, which sit at distance 0.
                 ball_weight = float(node_weights[ball].sum()) + float(node_weights[u]) - 1.0
-                ball_distance = float(X[u, ball].astype(np.float64) @ node_weights[ball])
+                ball_distance = float(row[ball].astype(np.float64) @ node_weights[ball])
                 if ball_distance / ball_weight <= alpha:
                     labels[ball] = next_label
                     unclustered[ball] = False

@@ -76,7 +76,7 @@ def exact_optimum(
             "exact_optimum does not support weighted (atom) instances; "
             "expand the duplicates first"
         )
-    X = np.asarray(instance.X, dtype=np.float64)
+    X = instance.backend.materialize(np.float64)
 
     # Remaining-cost lower bound: pairs with the later endpoint >= t are
     # unresolved once objects 0..t-1 are placed.

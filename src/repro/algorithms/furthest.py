@@ -43,7 +43,7 @@ def furthest(
         centers regardless of the cost trend (the §2 "if the user insists
         on a predefined number of clusters" variant).
     """
-    X = instance.X
+    backend = instance.backend
     n = instance.n
     if force_k is not None:
         if max_k is not None:
@@ -62,9 +62,8 @@ def furthest(
         return best
 
     with phase("furthest", n=n, cap=cap) as furthest_span:
-        # Initial centers: the furthest pair.
-        flat = int(np.argmax(X))
-        first, second = np.unravel_index(flat, X.shape)
+        # Initial centers: the furthest pair (blocked row-major argmax).
+        first, second = backend.argmax_entry()
         if first == second:
             # X is identically zero (e.g. identical input clusterings): argmax
             # lands on the diagonal and would duplicate a center, splitting
@@ -78,7 +77,7 @@ def furthest(
             rounds += 1
             furthest_span.set(rounds=rounds, centers=len(centers))
             inc("furthest.rounds")
-            center_columns = X[:, centers]  # (n, |centers|)
+            center_columns = backend.columns(centers)  # (n, |centers|)
             assignment = np.argmin(center_columns, axis=1)
             # Each center belongs to its own cluster (distance 0 to itself, and
             # argmin ties resolve to the first column — force exactness).

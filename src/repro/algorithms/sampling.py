@@ -189,11 +189,13 @@ def sampling(
                     tables, rest, n_jobs=n_jobs, block_size=_ASSIGN_BLOCK
                 )
             else:
-                X = instance.X
+                backend = instance.backend
                 sizes = sample_clustering.sizes().astype(np.float64)
                 for start in range(0, rest.size, _ASSIGN_BLOCK):
                     block = rest[start : start + _ASSIGN_BLOCK]
-                    rows = X[np.ix_(block, sample)].astype(np.float64)
+                    # O(|block| * |sample|) gather — the lazy backend computes
+                    # it straight from the labels, never touching full rows.
+                    rows = backend.gather_block(block, sample).astype(np.float64, copy=False)
                     mass = np.zeros((block.size, sample_clustering.k), dtype=np.float64)
                     for cluster, members in enumerate(sample_clustering.clusters()):
                         mass[:, cluster] = rows[:, members].sum(axis=1)

@@ -41,6 +41,12 @@ RPR007   No raw ``time.perf_counter()`` (or ``perf_counter_ns``) in
          library code outside ``repro/obs/`` — ad-hoc timing drifts out
          of the observability surface; wrap the code in a
          :func:`repro.obs.span` and read ``Span.seconds`` instead.
+RPR008   No direct ``.X`` / ``._X`` pair-matrix access in library code
+         outside ``repro/core/`` and ``repro/parallel/build.py`` — it
+         materializes (or assumes) the dense ``(n, n)`` matrix and
+         breaks the lazy backend; go through the
+         :class:`~repro.core.backend.PairDistanceBackend` API
+         (``instance.backend.row_block/gather/matvec/...``) instead.
 =======  ==============================================================
 
 Suppressions
@@ -84,6 +90,7 @@ RULES: dict[str, str] = {
     "RPR005": "randomness parameter must follow `rng: np.random.Generator | int | None`",
     "RPR006": "direct multiprocessing pool use outside repro.parallel; use repro.parallel.build.pool",
     "RPR007": "raw time.perf_counter() outside repro.obs; wrap the code in a repro.obs span",
+    "RPR008": "direct .X/._X pair-matrix access outside repro.core; use the backend API",
 }
 
 #: Subpackages of ``repro`` whose files RPR002 applies to.
@@ -99,6 +106,16 @@ POOL_PACKAGE = "parallel"
 
 #: The one subpackage allowed to call ``time.perf_counter`` (RPR007).
 TIMING_PACKAGE = "obs"
+
+#: The one subpackage allowed to touch ``.X`` / ``._X`` directly (RPR008).
+MATRIX_PACKAGE = "core"
+
+#: Library files outside ``repro/core/`` still allowed to touch the raw
+#: matrix (RPR008): the shared-memory fan-out must see the backing buffer.
+MATRIX_ACCESS_FILES = (("repro", "parallel", "build.py"),)
+
+#: Attribute names RPR008 treats as raw pair-matrix access.
+_MATRIX_ATTRS = frozenset({"X", "_X"})
 
 #: ``time`` attributes that RPR007 treats as ad-hoc profiling clocks.
 _PERF_CLOCKS = frozenset({"perf_counter", "perf_counter_ns"})
@@ -207,6 +224,12 @@ class _Checker(ast.NodeVisitor):
         self._check_alloc_dtype = subpackage in KERNEL_PACKAGES
         self._check_pools = subpackage != POOL_PACKAGE
         self._check_perf_clock = self._in_library and subpackage != TIMING_PACKAGE
+        parts = PurePath(path).parts
+        self._check_matrix_access = (
+            self._in_library
+            and subpackage != MATRIX_PACKAGE
+            and not any(parts[-len(tail) :] == tail for tail in MATRIX_ACCESS_FILES)
+        )
         self.findings: list[Finding] = []
         # Names the file binds to numpy, numpy.random, and stdlib random.
         self._numpy_aliases: set[str] = set()
@@ -325,6 +348,19 @@ class _Checker(ast.NodeVisitor):
             self._check_perf_clock_call(node, dotted)
         self._check_context_pool_call(node)
         self._check_labels_mutator_call(node)
+        self.generic_visit(node)
+
+    # -- RPR008: raw pair-matrix access --------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self._check_matrix_access and node.attr in _MATRIX_ATTRS:
+            self._report(
+                node,
+                "RPR008",
+                f"direct `.{node.attr}` pair-matrix access outside repro.core; "
+                "go through the `instance.backend` API "
+                "(`row_block`/`gather`/`matvec`/`materialize`)",
+            )
         self.generic_visit(node)
 
     # -- RPR006: multiprocessing pool construction ---------------------
@@ -659,7 +695,7 @@ def lint_paths(paths: Sequence[str | Path]) -> tuple[list[Finding], int]:
 def main(argv: Iterable[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Repository-specific invariant linter (rules RPR001-RPR007).",
+        description="Repository-specific invariant linter (rules RPR001-RPR008).",
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument("--json", action="store_true", help="emit a JSON report on stdout")

@@ -159,6 +159,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the parallel backend "
         "(default: REPRO_JOBS or serial; 0 = all cores)",
     )
+    run.add_argument(
+        "--backend",
+        default="auto",
+        choices=("auto", "dense", "lazy"),
+        help="pair-distance storage: dense materializes X, lazy computes row "
+        "blocks from the labels (O(n*m) memory); auto flips to lazy above "
+        "REPRO_LAZY_THRESHOLD rows (default 10000)",
+    )
     run.add_argument("--json", action="store_true", help="emit a machine-readable JSON report")
     run.add_argument("--out", default=None, help="write consensus labels to this file")
     _add_observability_arguments(run)
@@ -181,6 +189,13 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes (default: REPRO_JOBS or serial; 0 = all cores)",
+    )
+    port.add_argument(
+        "--backend",
+        default="auto",
+        choices=("auto", "dense", "lazy"),
+        help="pair-distance storage (lazy shares only the label matrix with "
+        "workers; auto flips to lazy above REPRO_LAZY_THRESHOLD rows)",
     )
     port.add_argument("--json", action="store_true", help="emit a machine-readable JSON report")
     port.add_argument("--out", default=None, help="write consensus labels to this file")
@@ -247,6 +262,7 @@ def _command_aggregate(args: argparse.Namespace) -> int:
         compute_lower_bound=compute_lb,
         collapse=args.collapse,
         n_jobs=args.jobs,
+        backend=args.backend,
         **params,
     )
 
@@ -316,7 +332,12 @@ def _command_portfolio(args: argparse.Namespace) -> int:
     dataset = CategoricalDataset.from_csv(args.csv, class_column=class_column)
     methods = tuple(name.strip() for name in args.methods.split(",") if name.strip())
     result = portfolio(
-        dataset.label_matrix(), methods=methods, p=args.p, n_jobs=args.jobs, rng=args.seed
+        dataset.label_matrix(),
+        methods=methods,
+        p=args.p,
+        n_jobs=args.jobs,
+        rng=args.seed,
+        backend=args.backend,
     )
     class_error = (
         None if dataset.classes is None else classification_error(result.best, dataset.classes)

@@ -2,6 +2,13 @@
 
 from .aggregate import STOCHASTIC_METHODS, AggregationResult, aggregate, available_methods
 from .atoms import AtomCollapse, collapse_duplicates
+from .backend import (
+    DenseBackend,
+    LazyLabelBackend,
+    PairDistanceBackend,
+    lazy_threshold,
+    resolve_backend,
+)
 from .distance import clustering_distance, normalized_distance, total_disagreement
 from .instance import CorrelationInstance, disagreement_fractions, pair_separation_block
 from .labels import MISSING, as_label_matrix, columns_as_clusterings, contingency_table
@@ -19,6 +26,11 @@ __all__ = [
     "normalized_distance",
     "total_disagreement",
     "CorrelationInstance",
+    "DenseBackend",
+    "LazyLabelBackend",
+    "PairDistanceBackend",
+    "lazy_threshold",
+    "resolve_backend",
     "disagreement_fractions",
     "pair_separation_block",
     "MISSING",

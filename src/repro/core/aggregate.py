@@ -145,6 +145,7 @@ def aggregate(
     compute_lower_bound: bool = True,
     collapse: bool = False,
     n_jobs: int | None = 1,
+    backend: str = "auto",
     **params: Any,
 ) -> AggregationResult:
     """Aggregate input clusterings into a consensus clustering.
@@ -182,6 +183,14 @@ def aggregate(
         sub-builds and assignment loop, and portfolio members all honour
         it.  ``None`` consults ``REPRO_JOBS``; every value is
         bit-identical to the serial run.
+    backend:
+        Pair-distance storage for instances built here: ``"dense"``
+        materializes the ``(n, n)`` matrix, ``"lazy"`` computes row
+        blocks on demand from the label matrix (O(n * m) memory, bitwise
+        identical results), and ``"auto"`` (default) picks lazy above
+        :func:`repro.core.backend.lazy_threshold` objects
+        (``REPRO_LAZY_THRESHOLD``, default 10000).  Ignored when
+        ``inputs`` is already a :class:`CorrelationInstance`.
     **params:
         Forwarded to the algorithm (e.g. ``alpha=0.4`` for BALLS,
         ``inner="furthest"`` and ``sample_size=1000`` for SAMPLING,
@@ -217,10 +226,12 @@ def aggregate(
         if instance is None and (method in _INSTANCE_METHODS or method == "portfolio"):
             if atoms is not None:
                 instance = CorrelationInstance.from_label_matrix(
-                    atoms.matrix, p=p, weights=atoms.weights, n_jobs=n_jobs
+                    atoms.matrix, p=p, weights=atoms.weights, n_jobs=n_jobs, backend=backend
                 )
             else:
-                instance = CorrelationInstance.from_label_matrix(matrix, p=p, n_jobs=n_jobs)
+                instance = CorrelationInstance.from_label_matrix(
+                    matrix, p=p, n_jobs=n_jobs, backend=backend
+                )
     build_seconds = build_span.seconds
 
     with span("aggregate.solve", method=method) as solve_span:

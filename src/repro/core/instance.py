@@ -28,6 +28,7 @@ import numpy as np
 from ..analysis.contracts import check_distance_matrix, contracts_enabled
 from ..obs.metrics import inc
 from ..obs.profile import phase
+from .backend import DenseBackend, LazyLabelBackend, PairDistanceBackend, resolve_backend
 from .labels import MISSING, as_label_matrix, validate_label_matrix
 from .partition import Clustering
 
@@ -183,35 +184,55 @@ class CorrelationInstance:
     instance.  ``m`` records how many input clusterings produced the
     instance (``None`` for raw instances); when known, costs convert to
     aggregation disagreements via :meth:`disagreements`.
+
+    Pairwise distances are held by a :class:`~repro.core.backend.PairDistanceBackend`:
+    either a :class:`~repro.core.backend.DenseBackend` over a materialized
+    ``X`` (the default) or a :class:`~repro.core.backend.LazyLabelBackend`
+    computing row blocks on demand from the label matrix (see
+    :meth:`lazy_from_label_matrix`), which keeps memory at O(n * m) for
+    large ``n``.  On lazy instances the :attr:`X` property raises; go
+    through :attr:`backend` instead.
     """
 
-    __slots__ = ("_X", "_m", "_weights")
+    __slots__ = ("_backend", "_m", "_weights", "_effective_weights")
 
     def __init__(
         self,
-        distances: np.ndarray,
+        distances: np.ndarray | None = None,
         m: int | None = None,
         validate: bool = True,
         weights: np.ndarray | None = None,
+        backend: PairDistanceBackend | None = None,
     ) -> None:
-        X = np.asarray(distances)
-        if validate:
-            self._validate(X)
-        elif contracts_enabled():
-            # Fast construction paths skip validation; in debug mode the
-            # contract layer re-checks the §3 shape invariants anyway.
-            check_distance_matrix(X)
-        self._X = X
+        if backend is None:
+            if distances is None:
+                raise ValueError("provide either a distance matrix or a backend")
+            X = np.asarray(distances)
+            if validate:
+                self._validate(X)
+            elif contracts_enabled():
+                # Fast construction paths skip validation; in debug mode the
+                # contract layer re-checks the §3 shape invariants anyway.
+                check_distance_matrix(X)
+            backend = DenseBackend(X)
+        elif distances is not None:
+            raise ValueError("distances and backend are mutually exclusive")
+        elif contracts_enabled() and isinstance(backend, DenseBackend):
+            # Lazy backends have no matrix to check; dense ones keep the
+            # same debug-mode invariant check as the matrix constructor.
+            check_distance_matrix(backend.dense())
+        self._backend = backend
         if m is not None and m < 1:
             raise ValueError("m must be a positive count of input clusterings")
         self._m = m
         if weights is not None:
             weights = np.asarray(weights, dtype=np.float64)
-            if weights.shape != (X.shape[0],):
+            if weights.shape != (backend.n,):
                 raise ValueError("weights must give one multiplicity per object")
             if np.any(weights < 1):
                 raise ValueError("weights must be >= 1 (duplicate multiplicities)")
         self._weights = weights
+        self._effective_weights: np.ndarray | None = None
 
     @staticmethod
     def _validate(X: np.ndarray) -> None:
@@ -242,6 +263,7 @@ class CorrelationInstance:
         missing: str = "coin-flip",
         weights: np.ndarray | None = None,
         n_jobs: int | None = 1,
+        backend: str = "dense",
     ) -> "CorrelationInstance":
         """Build the aggregation instance of an ``(n, m)`` label matrix.
 
@@ -252,8 +274,16 @@ class CorrelationInstance:
         (atom) instances — see :mod:`repro.core.atoms`.  ``n_jobs`` fans
         the row-block build out over a shared-memory worker pool
         (bit-identical to the serial build; ``None`` defers to the
-        ``REPRO_JOBS`` environment variable).
+        ``REPRO_JOBS`` environment variable).  ``backend`` selects the
+        pair-distance storage: ``"dense"`` materializes ``X`` now,
+        ``"lazy"`` defers to on-demand row blocks (O(n * m) memory), and
+        ``"auto"`` picks lazy above :func:`repro.core.backend.lazy_threshold`
+        objects.
         """
+        if resolve_backend(backend, int(matrix.shape[0])) == "lazy":
+            return cls.lazy_from_label_matrix(
+                matrix, p=p, dtype=dtype, missing=missing, weights=weights
+            )
         with phase("instance.build", rows=int(matrix.shape[0]), m=int(matrix.shape[1])):
             X = disagreement_fractions(matrix, p=p, dtype=dtype, missing=missing, n_jobs=n_jobs)
         inc("instance.builds")
@@ -274,6 +304,39 @@ class CorrelationInstance:
         return instance
 
     @classmethod
+    def lazy_from_label_matrix(
+        cls,
+        matrix: np.ndarray,
+        p: float = 0.5,
+        dtype: np.dtype | type | None = None,
+        missing: str = "coin-flip",
+        weights: np.ndarray | None = None,
+        block_rows: int | None = None,
+        cache_blocks: int = 8,
+    ) -> "CorrelationInstance":
+        """Build a label-backed instance that never materializes ``X``.
+
+        Stores only the ``(n, m)`` label matrix and computes distance row
+        blocks on demand through a :class:`~repro.core.backend.LazyLabelBackend`
+        (same missing-value model and dtype rules as the dense build, and
+        bitwise-identical entries).  Memory stays O(n * m) plus a small
+        LRU cache of ``cache_blocks`` row blocks, which is what lets
+        BALLS and SAMPLING run at n = 50k-100k where the dense matrix
+        cannot be allocated.
+        """
+        lazy = LazyLabelBackend(
+            matrix,
+            p=p,
+            dtype=dtype,
+            missing=missing,
+            block_rows=block_rows,
+            cache_blocks=cache_blocks,
+        )
+        inc("instance.builds")
+        inc("instance.build.rows", float(matrix.shape[0]))
+        return cls(m=int(matrix.shape[1]), weights=weights, backend=lazy)
+
+    @classmethod
     def from_clusterings(
         cls, clusterings: Sequence[Clustering | Sequence[int] | np.ndarray], p: float = 0.5
     ) -> "CorrelationInstance":
@@ -291,13 +354,23 @@ class CorrelationInstance:
 
     @property
     def X(self) -> np.ndarray:
-        """The pairwise distance matrix (do not mutate)."""
-        return self._X
+        """The pairwise distance matrix (do not mutate).
+
+        Only available on dense-backed instances; lazy instances raise
+        ``RuntimeError`` — use :attr:`backend` (blocked access) or
+        ``backend.materialize()`` instead.
+        """
+        return self._backend.dense()
+
+    @property
+    def backend(self) -> PairDistanceBackend:
+        """The pair-distance backend serving this instance's ``X`` entries."""
+        return self._backend
 
     @property
     def n(self) -> int:
         """Number of objects."""
-        return int(self._X.shape[0])
+        return self._backend.n
 
     @property
     def m(self) -> int | None:
@@ -310,17 +383,28 @@ class CorrelationInstance:
         return self._weights
 
     def effective_weights(self) -> np.ndarray:
-        """Multiplicities as an array (ones when unweighted)."""
-        if self._weights is None:
-            return np.ones(self.n, dtype=np.float64)
-        return self._weights
+        """Multiplicities as an array (ones when unweighted; do not mutate).
+
+        The unweighted ones-vector is cached on first use — BALLS and
+        SAMPLING call this inside their hot loops.
+        """
+        if self._weights is not None:
+            return self._weights
+        if self._effective_weights is None:
+            self._effective_weights = np.ones(self.n, dtype=np.float64)
+        return self._effective_weights
 
     def subinstance(self, indices: Sequence[int] | np.ndarray) -> "CorrelationInstance":
-        """The induced instance on a subset of the objects."""
+        """The induced instance on a subset of the objects.
+
+        Preserves the backend flavor: a lazy instance yields a lazy
+        sub-instance over the sliced label matrix (bitwise equal to
+        slicing the dense matrix).
+        """
         idx = np.asarray(indices)
         weights = None if self._weights is None else self._weights[idx]
         return CorrelationInstance(
-            self._X[np.ix_(idx, idx)], m=self._m, validate=False, weights=weights
+            m=self._m, weights=weights, backend=self._backend.take(idx)
         )
 
     # ------------------------------------------------------------------
@@ -347,37 +431,7 @@ class CorrelationInstance:
             labels = np.asarray(clustering)
         if labels.shape != (self.n,):
             raise ValueError("clustering size must match the instance size")
-        X = self._X
-        if self._weights is None:
-            n = self.n
-            total_pairs = n * (n - 1) / 2.0
-            sum_all = float(X.sum(dtype=np.float64)) / 2.0
-        else:
-            w = self._weights
-            total = float(w.sum())
-            total_pairs = (total * total - float((w * w).sum())) / 2.0
-            sum_all = float(w @ X.astype(np.float64) @ w) / 2.0
-        sum_within = 0.0
-        pairs_within = 0.0
-        order = np.argsort(labels, kind="stable")
-        sorted_labels = labels[order]
-        boundaries = np.flatnonzero(np.diff(sorted_labels)) + 1
-        for members in np.split(order, boundaries):
-            size = members.size
-            if size < 1:
-                continue
-            block = X[np.ix_(members, members)].astype(np.float64)
-            if self._weights is None:
-                if size < 2:
-                    continue
-                sum_within += float(block.sum()) / 2.0
-                pairs_within += size * (size - 1) / 2.0
-            else:
-                w_c = self._weights[members]
-                cluster_total = float(w_c.sum())
-                pairs_within += (cluster_total * cluster_total - float((w_c * w_c).sum())) / 2.0
-                sum_within += float(w_c @ block @ w_c) / 2.0
-        return total_pairs - sum_all + 2.0 * sum_within - pairs_within
+        return self._backend.cost(labels, self._weights)
 
     def disagreements(self, clustering: Clustering | np.ndarray) -> float:
         """The aggregation objective ``D(C) = m * d(C)`` (requires known ``m``)."""
@@ -391,14 +445,10 @@ class CorrelationInstance:
         Every clustering pays at least ``min(X, 1-X)`` per pair, so this
         bounds the optimum from below (the paper's "Lower bound" table
         rows, after multiplying by ``m`` via :meth:`disagreement_lower_bound`).
+        Accumulated in row blocks through the backend — no full-matrix
+        temporary.
         """
-        X = self._X
-        per_pair = np.minimum(X, 1.0 - X).astype(np.float64)
-        np.fill_diagonal(per_pair, 0.0)
-        if self._weights is None:
-            return float(per_pair.sum(dtype=np.float64)) / 2.0
-        w = self._weights
-        return float(w @ per_pair @ w) / 2.0
+        return self._backend.lower_bound(self._weights)
 
     def disagreement_lower_bound(self) -> float:
         """Lower bound on ``D(C)`` for aggregation instances (``m * lower_bound``)."""
@@ -411,7 +461,7 @@ class CorrelationInstance:
 
         Exhaustive over triples; intended for tests and small instances.
         """
-        X = self._X.astype(np.float64)
+        X = self._backend.materialize(np.float64)
         worst = -np.inf
         for v in range(self.n):
             # violation for (u, w) through v: X[u, w] - X[u, v] - X[v, w]

@@ -46,7 +46,13 @@ class MoveEvaluator:
         if labels.shape != (instance.n,):
             raise ValueError("initial labels must cover every object of the instance")
         self._instance = instance
-        self._X = np.asarray(instance.X, dtype=np.float64)
+        backend = instance.backend
+        # Dense instances keep the historical float64 alias of X (the
+        # streaming engine refreshes that buffer in place); lazy instances
+        # fetch rows through the backend on demand.
+        self._X: np.ndarray | None = (
+            np.asarray(backend.dense(), dtype=np.float64) if backend.name == "dense" else None
+        )
         self._node_weights = instance.effective_weights()
         n = instance.n
         k = int(labels.max()) + 1
@@ -56,20 +62,47 @@ class MoveEvaluator:
         self._sizes = np.zeros(k, dtype=np.float64)
         np.add.at(self._sizes, self._labels, self._node_weights)
         self._mass = np.zeros((n, k), dtype=np.float64)
-        if instance.weights is None:
-            weighted_X = self._X
+        singleton_start = k == n and np.array_equal(self._labels, np.arange(n))
+        if self._X is not None:
+            if instance.weights is None:
+                weighted_X = self._X
+            else:
+                weighted_X = self._X * self._node_weights[None, :]
+            if singleton_start:
+                # All singletons in index order (the cold-start clustering):
+                # M(v, {u}) = w_u · X[v, u], i.e. the mass matrix IS weighted_X.
+                np.copyto(self._mass, weighted_X)
+            else:
+                for slot in range(k):
+                    members = np.flatnonzero(self._labels == slot)
+                    if members.size:
+                        self._mass[:, slot] = weighted_X[:, members].sum(axis=1)
         else:
-            weighted_X = self._X * self._node_weights[None, :]
-        if k == n and np.array_equal(self._labels, np.arange(n)):
-            # All singletons in index order (the cold-start clustering):
-            # M(v, {u}) = w_u · X[v, u], i.e. the mass matrix IS weighted_X.
-            np.copyto(self._mass, weighted_X)
-        else:
-            for slot in range(k):
-                members = np.flatnonzero(self._labels == slot)
-                if members.size:
-                    self._mass[:, slot] = weighted_X[:, members].sum(axis=1)
+            # Lazy backend: same formulas, one row block at a time.  The
+            # per-row axis-1 reductions are independent of the row tiling,
+            # so the masses are bitwise identical to the dense init.
+            members_by_slot = (
+                None
+                if singleton_start
+                else [np.flatnonzero(self._labels == slot) for slot in range(k)]
+            )
+            for start, stop in backend.blocks():
+                rows = backend.row_block(start, stop).astype(np.float64, copy=False)
+                if instance.weights is not None:
+                    rows = rows * self._node_weights[None, :]
+                if members_by_slot is None:
+                    self._mass[start:stop] = rows
+                else:
+                    for slot, members in enumerate(members_by_slot):
+                        if members.size:
+                            self._mass[start:stop, slot] = rows[:, members].sum(axis=1)
         self._free_slots = [slot for slot in range(k) if self._sizes[slot] == 0]
+
+    def _row(self, v: int) -> np.ndarray:
+        """Row ``v`` of X in float64 (do not mutate)."""
+        if self._X is not None:
+            return self._X[v]
+        return self._instance.backend.row(v).astype(np.float64, copy=False)
 
     # ------------------------------------------------------------------
     # State
@@ -116,7 +149,10 @@ class MoveEvaluator:
             raise RuntimeError("cannot evaluate the cost while an object is detached")
         n = self.n
         total_pairs = n * (n - 1) / 2.0
-        sum_all = float(self._X.sum(dtype=np.float64)) / 2.0
+        if self._X is not None:
+            sum_all = float(self._X.sum(dtype=np.float64)) / 2.0
+        else:
+            sum_all = self._instance.backend.total_mass() / 2.0
         within_mass = float(self._mass[np.arange(n), self._labels].sum(dtype=np.float64))
         sizes = self._sizes
         pairs_within = float((sizes * (sizes - 1.0)).sum()) / 2.0
@@ -164,7 +200,7 @@ class MoveEvaluator:
         self._labels[v] = -1
         self._sizes[slot] -= weight
         # X is symmetric, so the contiguous row stands in for the strided column.
-        self._mass[:, slot] -= weight * self._X[v]
+        self._mass[:, slot] -= weight * self._row(v)
         if self._sizes[slot] <= 1e-9:
             self._sizes[slot] = 0.0
             self._mass[:, slot] = 0.0
@@ -180,7 +216,7 @@ class MoveEvaluator:
         weight = self._node_weights[v]
         self._labels[v] = slot
         self._sizes[slot] += weight
-        self._mass[:, slot] += weight * self._X[v]
+        self._mass[:, slot] += weight * self._row(v)
 
     def attach_singleton(self, v: int) -> int:
         """Open a new singleton cluster for detached ``v``; returns its slot."""
@@ -199,7 +235,7 @@ class MoveEvaluator:
         weight = self._node_weights[v]
         self._labels[v] = slot
         self._sizes[slot] = weight
-        self._mass[:, slot] = weight * self._X[v]
+        self._mass[:, slot] = weight * self._row(v)
         return slot
 
     # ------------------------------------------------------------------

@@ -26,19 +26,34 @@ ranges.
 from __future__ import annotations
 
 import multiprocessing
+from collections.abc import Iterator
+from contextlib import contextmanager
 from multiprocessing.pool import Pool
 from typing import Any
 
 import numpy as np
 
-from ..core.instance import _BLOCK_ROWS, disagreement_block, disagreement_fractions
+from ..core.backend import LazyLabelBackend
+from ..core.instance import (
+    _BLOCK_ROWS,
+    CorrelationInstance,
+    disagreement_block,
+    disagreement_fractions,
+)
 from ..core.labels import validate_label_matrix
 from ..core.objective import ClusterCountTables
 from ..obs.metrics import observe
 from ..obs.trace import span
 from .shm import SharedNDArray, resolve_jobs
 
-__all__ = ["MIN_PARALLEL_ROWS", "parallel_assign", "parallel_disagreement_fractions", "pool"]
+__all__ = [
+    "MIN_PARALLEL_ROWS",
+    "attach_instance",
+    "parallel_assign",
+    "parallel_disagreement_fractions",
+    "pool",
+    "share_instance",
+]
 
 #: Below this many objects the dispatch in ``disagreement_fractions``
 #: stays serial even when ``n_jobs > 1`` — pool startup would dominate.
@@ -61,6 +76,72 @@ def pool(jobs: int, initializer: Any = None, initargs: tuple[Any, ...] = ()) -> 
     else:  # pragma: no cover - non-POSIX platforms
         context = multiprocessing.get_context()
     return context.Pool(jobs, initializer=initializer, initargs=initargs)
+
+
+# ----------------------------------------------------------------------
+# Zero-copy instance fan-out
+# ----------------------------------------------------------------------
+
+
+@contextmanager
+def share_instance(instance: CorrelationInstance) -> Iterator[dict[str, Any]]:
+    """Share ``instance``'s bulk data for zero-copy worker reconstruction.
+
+    Yields a small picklable payload that forked workers hand to
+    :func:`attach_instance`.  Dense-backed instances place the ``(n, n)``
+    matrix in a shared segment (the historical portfolio behaviour);
+    lazy-backed instances share only the ``(n, m)`` *label matrix* plus
+    the kernel parameters, so every worker attaches in O(n * m) memory
+    and computes its own row blocks on demand.  The shared segment lives
+    until the ``with`` block exits — keep the pool inside it.
+    """
+    backend = instance.backend
+    common: dict[str, Any] = {"m": instance.m, "weights": instance.weights}
+    if isinstance(backend, LazyLabelBackend):
+        labels = backend.label_matrix
+        with SharedNDArray.create(labels.shape, labels.dtype) as shared:
+            shared.array[...] = labels
+            yield {
+                "kind": "lazy",
+                "descriptor": shared.descriptor,
+                "p": backend.p,
+                "missing": backend.missing,
+                "dtype": backend.dtype.str,
+                "block_rows": backend.block_rows,
+                "cache_blocks": backend.cache_blocks,
+                **common,
+            }
+    else:
+        X = backend.dense()
+        with SharedNDArray.create(X.shape, X.dtype) as shared:
+            shared.array[...] = X
+            yield {"kind": "dense", "descriptor": shared.descriptor, **common}
+
+
+def attach_instance(payload: dict[str, Any]) -> tuple[CorrelationInstance, SharedNDArray]:
+    """Rebuild a :func:`share_instance` payload inside a worker.
+
+    Returns ``(instance, shared)``; the caller must keep ``shared`` alive
+    (and close it eventually) for as long as the instance is used — the
+    instance's arrays are zero-copy views into the shared segment.
+    """
+    shared = SharedNDArray.attach(payload["descriptor"])
+    if payload["kind"] == "lazy":
+        lazy = LazyLabelBackend(
+            shared.array,
+            p=payload["p"],
+            dtype=np.dtype(payload["dtype"]),
+            missing=payload["missing"],
+            block_rows=payload["block_rows"],
+            cache_blocks=payload["cache_blocks"],
+            validate=False,
+        )
+        instance = CorrelationInstance(m=payload["m"], weights=payload["weights"], backend=lazy)
+    else:
+        instance = CorrelationInstance(
+            shared.array, m=payload["m"], validate=False, weights=payload["weights"]
+        )
+    return instance, shared
 
 
 # ----------------------------------------------------------------------

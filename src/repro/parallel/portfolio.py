@@ -31,8 +31,8 @@ from ..core.partition import Clustering
 from ..obs.metrics import inc, observe, set_gauge
 from ..obs.profile import export_spans, merge_spans, worker_tracing
 from ..obs.trace import span
-from .build import pool
-from .shm import SharedNDArray, resolve_jobs
+from .build import attach_instance, pool, share_instance
+from .shm import resolve_jobs
 
 __all__ = ["DEFAULT_PORTFOLIO", "AlgorithmRun", "PortfolioResult", "portfolio"]
 
@@ -149,14 +149,12 @@ def _execute(
 
 
 def _init_portfolio_worker(
-    descriptor: tuple[str, tuple[int, ...], str],
-    m: int | None,
-    weights: np.ndarray | None,
+    payload: dict[str, Any],
     specs: list[tuple[str, dict[str, Any], np.random.Generator | None]],
 ) -> None:
-    shared = SharedNDArray.attach(descriptor)
+    instance, shared = attach_instance(payload)
     _WORKER["shared"] = shared  # keep the mapping alive for the pool's lifetime
-    _WORKER["instance"] = CorrelationInstance(shared.array, m=m, validate=False, weights=weights)
+    _WORKER["instance"] = instance
     _WORKER["specs"] = specs
 
 
@@ -178,6 +176,7 @@ def portfolio(
     n_jobs: int | None = None,
     rng: np.random.Generator | int | None = None,
     params: dict[str, dict[str, Any]] | None = None,
+    backend: str = "auto",
 ) -> PortfolioResult:
     """Run ``methods`` concurrently on one instance, return the argmin cost.
 
@@ -207,12 +206,20 @@ def portfolio(
         the outcome never depends on scheduling.
     params:
         Optional per-method extra kwargs, e.g. ``{"balls": {"alpha": 0.4}}``.
+    backend:
+        Pair-distance backend for label inputs (``"auto"``, ``"dense"``
+        or ``"lazy"``; see :func:`repro.core.backend.resolve_backend`).
+        With the lazy backend only the ``(n, m)`` label matrix is placed
+        in shared memory — workers attach zero-copy to the labels instead
+        of an ``(n, n)`` matrix.  Ignored for prebuilt instances.
     """
     if isinstance(inputs, CorrelationInstance):
         instance = inputs
     else:
         matrix = inputs if isinstance(inputs, np.ndarray) else as_label_matrix(inputs)
-        instance = CorrelationInstance.from_label_matrix(matrix, p=p, n_jobs=n_jobs)
+        instance = CorrelationInstance.from_label_matrix(
+            matrix, p=p, n_jobs=n_jobs, backend=backend
+        )
     specs = _method_specs(methods, params, rng)
     jobs = min(resolve_jobs(n_jobs), len(specs))
 
@@ -220,12 +227,11 @@ def portfolio(
         if jobs <= 1:
             outcomes = [(i, *_execute(instance, spec)) for i, spec in enumerate(specs)]
         else:
-            with SharedNDArray.create(instance.X.shape, instance.X.dtype) as shared:
-                shared.array[...] = instance.X
+            with share_instance(instance) as payload:
                 workers = pool(
                     jobs,
                     initializer=_init_portfolio_worker,
-                    initargs=(shared.descriptor, instance.m, instance.weights, specs),
+                    initargs=(payload, specs),
                 )
                 try:
                     worker_outcomes = workers.map(_run_portfolio_member, range(len(specs)))

@@ -405,6 +405,66 @@ def test_rpr007_suppressible_inline() -> None:
 
 
 # ---------------------------------------------------------------------------
+# RPR008: raw pair-matrix access outside repro.core
+# ---------------------------------------------------------------------------
+
+BUILD = "src/repro/parallel/build.py"
+PARALLEL = "src/repro/parallel/portfolio.py"
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "def f(instance):\n    return instance.X.sum()\n",
+        "def f(instance):\n    return instance._X[0]\n",
+        "def f(self):\n    self._X = None\n",
+        "def f(instance, w):\n    return instance.X.astype(float) @ w\n",
+    ],
+)
+def test_rpr008_flags_matrix_access_outside_core(source: str) -> None:
+    assert codes(source, path=ALGOS) == ["RPR008"]
+    assert codes(source, path=PARALLEL) == ["RPR008"]
+    assert codes(source, path="src/repro/stream/engine.py") == ["RPR008"]
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "def f(instance):\n    return instance.X.sum()\n",
+        "def f(self):\n    return self._X[0]\n",
+    ],
+)
+def test_rpr008_exempts_core_and_the_shared_memory_fanout(source: str) -> None:
+    assert codes(source) == []  # CORE path
+    assert codes(source, path=BUILD) == []
+
+
+def test_rpr008_scoped_to_library_files() -> None:
+    # Tests and benchmarks may poke the raw matrix freely.
+    source = "def f(instance):\n    return instance.X\n"
+    assert codes(source, path=OUTSIDE) == []
+    assert codes(source, path="benchmarks/bench_x.py") == []
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        # Other attribute names are untouched, including near-misses.
+        "def f(instance):\n    return instance.Xs\n",
+        "def f(instance):\n    return instance.backend.row_block(0, 8)\n",
+        "def f(self):\n    return self._X_buffer\n",
+    ],
+)
+def test_rpr008_allows_other_attributes(source: str) -> None:
+    assert codes(source, path=ALGOS) == []
+
+
+def test_rpr008_suppressible_inline() -> None:
+    source = "def f(instance):\n    return instance.X  # repolint: disable=RPR008\n"
+    assert codes(source, path=ALGOS) == []
+
+
+# ---------------------------------------------------------------------------
 # Findings, path handling, CLI
 # ---------------------------------------------------------------------------
 
@@ -461,19 +521,30 @@ def test_main_json_reports_every_rule_id(tmp_path, capsys) -> None:
     (algos / "r5.py").write_text("def sample(data, seed=0):\n    return data\n")
     (core / "r6.py").write_text("from multiprocessing import Pool\n")
     (core / "r7.py").write_text("from time import perf_counter\n")
+    (algos / "r8.py").write_text("def f(instance):\n    return instance.X\n")
 
     exit_code = main(["--json", str(tmp_path)])
     report = json.loads(capsys.readouterr().out)
 
     assert exit_code == 1
-    assert report["files_checked"] == 7
+    assert report["files_checked"] == 8
     seen = {finding["rule"] for finding in report["findings"]}
-    assert seen == {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007"}
+    assert seen == {
+        "RPR001",
+        "RPR002",
+        "RPR003",
+        "RPR004",
+        "RPR005",
+        "RPR006",
+        "RPR007",
+        "RPR008",
+    }
     by_rule = {f["rule"]: f for f in report["findings"]}
     assert by_rule["RPR001"]["path"].endswith("r1.py")
     assert by_rule["RPR005"]["path"].endswith("r5.py")
     assert by_rule["RPR006"]["path"].endswith("r6.py")
     assert by_rule["RPR007"]["path"].endswith("r7.py")
+    assert by_rule["RPR008"]["path"].endswith("r8.py")
 
 
 def test_repository_is_lint_clean() -> None:
