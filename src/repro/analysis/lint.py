@@ -47,6 +47,12 @@ RPR008   No direct ``.X`` / ``._X`` pair-matrix access in library code
          breaks the lazy backend; go through the
          :class:`~repro.core.backend.PairDistanceBackend` API
          (``instance.backend.row_block/gather/matvec/...``) instead.
+RPR009   No blocking calls directly inside ``async def`` bodies under
+         ``repro/serve/``: ``time.sleep``, ``open`` and
+         ``Path.read_text``-style file I/O, numpy array file I/O
+         (``np.load``/``np.save``/...), and worker-pool construction or
+         ``pool().map``-style fan-out all stall the event loop — await
+         ``loop.run_in_executor(...)`` (or ``asyncio.sleep``) instead.
 =======  ==============================================================
 
 Suppressions
@@ -91,6 +97,7 @@ RULES: dict[str, str] = {
     "RPR006": "direct multiprocessing pool use outside repro.parallel; use repro.parallel.build.pool",
     "RPR007": "raw time.perf_counter() outside repro.obs; wrap the code in a repro.obs span",
     "RPR008": "direct .X/._X pair-matrix access outside repro.core; use the backend API",
+    "RPR009": "blocking call inside an async def in repro.serve; use run_in_executor/asyncio.sleep",
 }
 
 #: Subpackages of ``repro`` whose files RPR002 applies to.
@@ -109,6 +116,20 @@ TIMING_PACKAGE = "obs"
 
 #: The one subpackage allowed to touch ``.X`` / ``._X`` directly (RPR008).
 MATRIX_PACKAGE = "core"
+
+#: The event-loop subpackage whose ``async def`` bodies RPR009 applies to.
+ASYNC_PACKAGE = "serve"
+
+#: numpy functions that hit the filesystem (RPR009 in async bodies).
+_NP_FILE_IO = frozenset(
+    {"load", "save", "savez", "savez_compressed", "loadtxt", "savetxt", "genfromtxt", "fromfile"}
+)
+
+#: ``Path``-style blocking file-I/O methods (RPR009 in async bodies).
+_PATH_IO_METHODS = frozenset({"read_text", "write_text", "read_bytes", "write_bytes"})
+
+#: Pool fan-out methods (RPR009 on ``pool(...).map`` in async bodies).
+_POOL_MAP_METHODS = frozenset({"map", "starmap", "imap", "imap_unordered", "apply"})
 
 #: Library files outside ``repro/core/`` still allowed to touch the raw
 #: matrix (RPR008): the shared-memory fan-out must see the backing buffer.
@@ -240,8 +261,13 @@ class _Checker(ast.NodeVisitor):
         self._mp_aliases: set[str] = set()
         self._mp_pool_aliases: set[str] = set()
         self._mp_get_context_aliases: set[str] = set()
-        # Names bound to the stdlib ``time`` module (RPR007).
+        # Names bound to the stdlib ``time`` module (RPR007, RPR009).
         self._time_aliases: set[str] = set()
+        # Names bound to ``time.sleep`` via `from time import sleep` (RPR009).
+        self._sleep_aliases: set[str] = set()
+        # Whether each enclosing function def is async (RPR009 scope).
+        self._check_async_blocking = subpackage == ASYNC_PACKAGE
+        self._function_stack: list[bool] = []
         # For loops already reported (avoid duplicate RPR002 per nest).
         self._reported_pair_loops: set[int] = set()
 
@@ -317,9 +343,11 @@ class _Checker(ast.NodeVisitor):
                     self._mp_pool_aliases.add(alias.asname or "pool")
                 elif alias.name == "get_context":
                     self._mp_get_context_aliases.add(alias.asname or "get_context")
-        elif node.module == "time" and self._check_perf_clock:
+        elif node.module == "time":
             for alias in node.names:
-                if alias.name in _PERF_CLOCKS:
+                if alias.name == "sleep":
+                    self._sleep_aliases.add(alias.asname or "sleep")
+                elif alias.name in _PERF_CLOCKS and self._check_perf_clock:
                     self._report(
                         node,
                         "RPR007",
@@ -348,7 +376,50 @@ class _Checker(ast.NodeVisitor):
             self._check_perf_clock_call(node, dotted)
         self._check_context_pool_call(node)
         self._check_labels_mutator_call(node)
+        self._check_async_blocking_call(node, dotted)
         self.generic_visit(node)
+
+    # -- RPR009: blocking calls inside async def bodies ----------------
+
+    def _check_async_blocking_call(self, node: ast.Call, dotted: tuple[str, ...] | None) -> None:
+        if not (
+            self._check_async_blocking
+            and self._function_stack
+            and self._function_stack[-1]
+        ):
+            return
+        message = self._blocking_call_message(node, dotted)
+        if message is not None:
+            self._report(
+                node,
+                "RPR009",
+                f"{message} blocks the event loop inside an `async def`; "
+                "await `loop.run_in_executor(...)` (or `asyncio.sleep`) instead",
+            )
+
+    def _blocking_call_message(
+        self, node: ast.Call, dotted: tuple[str, ...] | None
+    ) -> str | None:
+        func = node.func
+        if dotted is not None:
+            if len(dotted) == 2 and dotted[0] in self._time_aliases and dotted[1] == "sleep":
+                return f"`{'.'.join(dotted)}()`"
+            if len(dotted) == 1 and dotted[0] in self._sleep_aliases:
+                return f"`{dotted[0]}()` (time.sleep)"
+            if len(dotted) == 1 and dotted[0] == "open":
+                return "`open()`"
+            if len(dotted) == 2 and dotted[0] in self._numpy_aliases and dotted[1] in _NP_FILE_IO:
+                return f"file I/O `{'.'.join(dotted)}()`"
+            if dotted[-1] == "pool" and len(dotted) <= 2:
+                return f"worker-pool construction `{'.'.join(dotted)}()`"
+        if isinstance(func, ast.Attribute):
+            if func.attr in _PATH_IO_METHODS:
+                return f"file I/O `.{func.attr}()`"
+            if func.attr in _POOL_MAP_METHODS and isinstance(func.value, ast.Call):
+                inner = _dotted_name(func.value.func)
+                if inner is not None and inner[-1] == "pool" and len(inner) <= 2:
+                    return f"`pool(...).{func.attr}()` fan-out"
+        return None
 
     # -- RPR008: raw pair-matrix access --------------------------------
 
@@ -631,11 +702,19 @@ class _Checker(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_function(node)
-        self.generic_visit(node)
+        self._function_stack.append(False)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._function_stack.pop()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_function(node)
-        self.generic_visit(node)
+        self._function_stack.append(True)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._function_stack.pop()
 
 
 def lint_source(source: str, path: str = "<string>") -> list[Finding]:
@@ -695,7 +774,7 @@ def lint_paths(paths: Sequence[str | Path]) -> tuple[list[Finding], int]:
 def main(argv: Iterable[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Repository-specific invariant linter (rules RPR001-RPR008).",
+        description="Repository-specific invariant linter (rules RPR001-RPR009).",
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument("--json", action="store_true", help="emit a JSON report on stdout")

@@ -16,6 +16,12 @@ Subcommands
     streaming engine (:mod:`repro.stream`), printing per-update cost,
     cluster count, moves, and wall-time; optionally checkpoint the final
     engine state to ``.npz`` or resume from one.
+``serve``
+    Run the HTTP aggregation service (:mod:`repro.serve`): named
+    streaming sessions with micro-batched writes, non-blocking consensus
+    reads, checkpoint persistence, and one-shot ``/aggregate`` — until
+    SIGINT/SIGTERM, then drain and checkpoint.  ``--json`` prints a
+    machine-readable startup banner with the actually bound port.
 ``generate``
     Write one of the built-in datasets (votes, mushrooms, census) to CSV.
 ``methods``
@@ -232,6 +238,46 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--out", default=None, help="write consensus labels to this file")
     _add_observability_arguments(stream)
 
+    serve = subparsers.add_parser(
+        "serve", help="run the HTTP aggregation service (repro.serve)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8765, help="bind port (0 picks a free one)")
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="persist each session to <dir>/<name>.npz (restored on re-create)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=64, help="concurrent named sessions (503 beyond)"
+    )
+    serve.add_argument(
+        "--max-n", type=int, default=100_000, help="largest accepted object count (413 beyond)"
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="pending observes per session before 429 backpressure",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        help="micro-batch coalescing window in seconds (0 disables the wait)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="repro.parallel worker budget for /aggregate (default: REPRO_JOBS)",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable startup banner and shutdown summary on stdout",
+    )
+
     gen = subparsers.add_parser("generate", help="write a built-in dataset to CSV")
     gen.add_argument("dataset", choices=sorted(_GENERATORS))
     gen.add_argument("path", help="output CSV path")
@@ -384,13 +430,10 @@ def _command_stream(args: argparse.Namespace) -> int:
     dataset = CategoricalDataset.from_csv(args.csv, class_column=class_column)
     matrix = dataset.label_matrix()
     if args.resume:
-        engine = load_checkpoint(args.resume)
-        if engine.n != matrix.shape[0]:
-            print(
-                f"error: checkpoint covers {engine.n} objects but the CSV has "
-                f"{matrix.shape[0]} rows",
-                file=sys.stderr,
-            )
+        try:
+            engine = load_checkpoint(args.resume, n=matrix.shape[0])
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
             return 2
     else:
         engine = StreamingAggregator(
@@ -473,6 +516,53 @@ def _command_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        checkpoint_dir=args.checkpoint_dir,
+        max_sessions=args.max_sessions,
+        max_n=args.max_n,
+        queue_limit=args.queue_limit,
+        batch_window=args.batch_window,
+        n_jobs=args.jobs,
+    )
+
+    def banner(service: object) -> None:
+        port = service.port  # type: ignore[attr-defined]
+        if args.json:
+            # flush so scripted callers (and the SIGTERM test) can read the
+            # bound port before sending any request
+            print(
+                json.dumps(
+                    {
+                        "event": "serve.start",
+                        "host": args.host,
+                        "port": port,
+                        "checkpoint_dir": args.checkpoint_dir,
+                        "max_sessions": args.max_sessions,
+                    }
+                ),
+                flush=True,
+            )
+        else:
+            print(f"serving          http://{args.host}:{port}/", flush=True)
+            if args.checkpoint_dir:
+                print(f"checkpoints      {args.checkpoint_dir}", flush=True)
+
+    summary = run_server(config, ready=banner)
+    if args.json:
+        print(json.dumps({"event": "serve.stop", **summary}), flush=True)
+    else:
+        print(
+            f"stopped          drained {summary['sessions']} session(s), "
+            f"wrote {len(summary['checkpoints'])} checkpoint(s)"
+        )
+    return 0
+
+
 def _command_generate(args: argparse.Namespace) -> int:
     generator = _GENERATORS[args.dataset]
     dataset = generator(n=args.rows, rng=args.seed)
@@ -490,6 +580,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_observed(args, _command_portfolio)
     if args.command == "stream":
         return _run_observed(args, _command_stream)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "generate":
         return _command_generate(args)
     if args.command == "methods":

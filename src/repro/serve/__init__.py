@@ -1,0 +1,58 @@
+"""repro.serve — the async multi-tenant aggregation service.
+
+The library's subsystems become a product surface here: an asyncio HTTP
+service (stdlib only — no framework) hosting many named *streaming
+sessions*, each wrapping a
+:class:`~repro.stream.StreamingAggregator` with ``.npz`` checkpoint
+persistence, plus a one-shot ``/aggregate`` endpoint routed to the
+:func:`~repro.parallel.portfolio`.
+
+Layers (bottom-up):
+
+- :mod:`repro.serve.http` — a minimal HTTP/1.1 request/response layer on
+  ``asyncio`` streams with a pattern router (``/sessions/{name}/observe``).
+- :mod:`repro.serve.schemas` — strict JSON request validation mapping
+  malformed input to 400s before anything touches an engine.
+- :mod:`repro.serve.batching` — the per-session micro-batch queue:
+  concurrent writes coalesce into one worker wake-up per window, with a
+  bounded depth that surfaces as 429 backpressure.
+- :mod:`repro.serve.sessions` — named sessions (one serialized writer
+  task each, immutable published consensus snapshots, checkpoint
+  restore/save) and the session table with its limits.
+- :mod:`repro.serve.app` — routes, per-endpoint observability
+  (:mod:`repro.obs` spans + counters + latency histograms at
+  ``GET /metrics``), the aggregate concurrency semaphore, and graceful
+  drain-then-checkpoint shutdown.
+
+Run it with ``repro-aggregate serve`` (see the CLI) or embed it::
+
+    from repro.serve import AggregationService, ServeConfig
+
+    service = AggregationService(ServeConfig(port=0))
+    await service.start()          # inside a running event loop
+    ...
+    await service.shutdown()       # drains queues, checkpoints sessions
+"""
+
+from .app import AggregationService, ServeConfig, run_server, run_service
+from .batching import MicroBatchQueue, QueueClosed, QueueFull
+from .http import HTTPError, HTTPServer, Request, Response, Router
+from .sessions import ConsensusSnapshot, Session, SessionManager
+
+__all__ = [
+    "AggregationService",
+    "ConsensusSnapshot",
+    "HTTPError",
+    "HTTPServer",
+    "MicroBatchQueue",
+    "QueueClosed",
+    "QueueFull",
+    "Request",
+    "Response",
+    "Router",
+    "ServeConfig",
+    "Session",
+    "SessionManager",
+    "run_server",
+    "run_service",
+]

@@ -1,0 +1,145 @@
+"""Per-session micro-batch queue: write coalescing with bounded depth.
+
+Concurrent ``observe`` requests against one session all funnel through a
+:class:`MicroBatchQueue`.  The session's single worker task pulls the
+next *batch* — the first waiting item plus everything else that arrives
+within the micro-batch ``window`` (capped at ``max_batch``) — so a burst
+of concurrent writers costs one worker wake-up and one consensus publish
+instead of one per request, while the strict FIFO order keeps results
+bit-identical to serially observing the same arrival order.
+
+Backpressure is synchronous and cheap: :meth:`MicroBatchQueue.submit`
+raises :class:`QueueFull` the moment the bounded depth is reached
+(the HTTP layer maps it to ``429 Retry-After``) — nothing is buffered
+beyond the configured limit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["MicroBatchQueue", "Pending", "QueueClosed", "QueueFull"]
+
+
+class QueueFull(Exception):
+    """The bounded queue depth is exhausted (backpressure signal)."""
+
+
+class QueueClosed(Exception):
+    """The queue no longer accepts writes (session closing)."""
+
+
+@dataclass
+class Pending:
+    """One queued write: its payload and the future its submitter awaits."""
+
+    payload: Any
+    future: "asyncio.Future[Any]"
+
+
+#: Internal close marker; always the last item the consumer sees.
+_CLOSE = object()
+
+
+class MicroBatchQueue:
+    """A bounded FIFO queue whose consumer drains micro-batches.
+
+    Parameters
+    ----------
+    limit:
+        Maximum number of waiting items; :meth:`submit` raises
+        :class:`QueueFull` beyond it.
+    window:
+        Seconds the consumer lingers after the first item of a batch,
+        coalescing later arrivals into the same batch.  ``0`` disables
+        the wait (still drains whatever is immediately available).
+    max_batch:
+        Hard cap on items per batch.
+    """
+
+    def __init__(self, limit: int = 256, window: float = 0.002, max_batch: int = 64) -> None:
+        if limit < 1:
+            raise ValueError("queue limit must be positive")
+        if window < 0:
+            raise ValueError("batch window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self._limit = int(limit)
+        self._window = float(window)
+        self._max_batch = int(max_batch)
+        # Unbounded internally — the depth limit is enforced in submit()
+        # so the close marker can always be enqueued.
+        self._queue: "asyncio.Queue[Any]" = asyncio.Queue()
+        self._closed = False
+
+    @property
+    def depth(self) -> int:
+        """Items currently waiting (including an in-flight close marker)."""
+        return self._queue.qsize()
+
+    @property
+    def window(self) -> float:
+        """The configured micro-batch window in seconds."""
+        return self._window
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def submit(self, payload: Any) -> "asyncio.Future[Any]":
+        """Enqueue one write; returns the future resolved after it applies.
+
+        Raises :class:`QueueFull` at the depth limit and
+        :class:`QueueClosed` after :meth:`close` — both synchronously,
+        so callers can answer 429/409 without buffering anything.
+        """
+        if self._closed:
+            raise QueueClosed("queue is closed")
+        if self._queue.qsize() >= self._limit:
+            raise QueueFull(f"queue depth limit {self._limit} reached")
+        future: "asyncio.Future[Any]" = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait(Pending(payload, future))
+        return future
+
+    def close(self) -> None:
+        """Reject further writes; the consumer drains what is queued."""
+        if not self._closed:
+            self._closed = True
+            self._queue.put_nowait(_CLOSE)
+
+    async def next_batch(self) -> list[Pending] | None:
+        """The next micro-batch in FIFO order, or ``None`` once drained.
+
+        Blocks for the first item, then gathers immediately available
+        items plus anything arriving within ``window`` seconds, up to
+        ``max_batch``.  After :meth:`close`, every already-submitted item
+        is still delivered (the close marker is FIFO-ordered behind
+        them); only then does this return ``None``.
+        """
+        loop = asyncio.get_running_loop()
+        first = await self._queue.get()
+        if first is _CLOSE:
+            return None
+        batch: list[Pending] = [first]
+        deadline = loop.time() + self._window if self._window > 0 else None
+        while len(batch) < self._max_batch:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                if deadline is None:
+                    break
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(self._queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+            if item is _CLOSE:
+                # Redeliver the marker so the next call returns None.
+                self._queue.put_nowait(_CLOSE)
+                break
+            batch.append(item)
+        return batch

@@ -1,0 +1,404 @@
+"""Named streaming sessions: serialized writers, immutable read snapshots.
+
+A :class:`Session` owns one :class:`~repro.stream.StreamingAggregator`
+and the *only* task allowed to mutate it — a worker coroutine that
+drains the session's :class:`~repro.serve.batching.MicroBatchQueue` one
+micro-batch at a time and applies the observes in strict FIFO order
+(off the event loop, in the default executor).  After each batch it
+publishes a fresh :class:`ConsensusSnapshot`: an immutable value object
+(read-only label copy, cost, version) swapped in with a single
+attribute assignment, so consensus reads never await an in-flight write.
+
+The :class:`SessionManager` is the tenant table: named creation with
+``max_sessions``/``max_n`` guards, ``.npz`` checkpoint restore on create
+(config mismatches are rejected — see
+:func:`repro.stream.checkpoint.load_checkpoint`), and the
+drain-then-checkpoint shutdown path the service's graceful stop uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..obs.metrics import inc, observe, set_gauge
+from ..obs.trace import span
+from ..stream import StreamingAggregator, load_checkpoint, save_checkpoint
+from .batching import MicroBatchQueue, Pending, QueueClosed, QueueFull
+from .http import HTTPError
+
+__all__ = ["ConsensusSnapshot", "Session", "SessionManager"]
+
+
+@dataclass(frozen=True)
+class ConsensusSnapshot:
+    """An immutable published consensus: what ``GET .../consensus`` returns.
+
+    ``labels`` is a read-only copy — a snapshot held by one request can
+    never be mutated by a later update; readers see the ``version`` the
+    writer published and nothing in between.
+    """
+
+    version: int  #: publish counter (one per applied micro-batch)
+    count: int  #: clusterings folded into the engine so far
+    k: int  #: clusters in the consensus
+    cost: float  #: correlation cost d(C)
+    disagreements: float  #: effective-weight objective (m * d(C) at decay=1)
+    labels: np.ndarray  #: read-only consensus label vector
+
+    def to_dict(self, include_labels: bool = True) -> dict[str, Any]:
+        """JSON-friendly form; ``include_labels=False`` for cheap polling."""
+        payload: dict[str, Any] = {
+            "version": self.version,
+            "count": self.count,
+            "k": self.k,
+            "cost": self.cost,
+            "disagreements": self.disagreements,
+        }
+        if include_labels:
+            payload["labels"] = self.labels.tolist()
+        return payload
+
+
+class Session:
+    """One named streaming tenant: engine + queue + single writer task."""
+
+    def __init__(
+        self,
+        name: str,
+        engine: StreamingAggregator,
+        *,
+        queue_limit: int = 256,
+        batch_window: float = 0.002,
+        max_batch: int = 64,
+        checkpoint_path: Path | None = None,
+    ) -> None:
+        self.name = name
+        self._engine = engine
+        self._queue = MicroBatchQueue(
+            limit=queue_limit, window=batch_window, max_batch=max_batch
+        )
+        self._checkpoint_path = checkpoint_path
+        self._retry_after = max(0.05, 4.0 * batch_window)
+        self._snapshot: ConsensusSnapshot | None = None
+        self._version = 0
+        self._task: "asyncio.Task[None] | None" = None
+        self._closed = False
+        # Maintenance gate: cleared by pause(), the worker stops applying
+        # batches (writes queue up and backpressure engages) while reads
+        # keep serving the last published snapshot.
+        self._gate = asyncio.Event()
+        self._gate.set()
+        if engine.count > 0:  # restored from a checkpoint
+            self._publish()
+
+    # -- read side (never blocks on the writer) -------------------------
+
+    @property
+    def snapshot(self) -> ConsensusSnapshot | None:
+        """The latest published consensus (None before the first update)."""
+        return self._snapshot
+
+    @property
+    def n(self) -> int:
+        return self._engine.n
+
+    @property
+    def count(self) -> int:
+        return self._engine.count
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.depth
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def info(self) -> dict[str, Any]:
+        """Session metadata for listings and ``GET /sessions/{name}``."""
+        incremental = self._engine.incremental
+        return {
+            "name": self.name,
+            "n": self._engine.n,
+            "count": self._engine.count,
+            "version": self._version,
+            "queue_depth": self._queue.depth,
+            "closed": self._closed,
+            "p": incremental.p,
+            "missing": incremental.missing,
+            "decay": incremental.decay,
+            "checkpoint": (
+                None if self._checkpoint_path is None else str(self._checkpoint_path)
+            ),
+        }
+
+    # -- write side -----------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the single writer task (call once, inside the loop)."""
+        self._task = asyncio.get_running_loop().create_task(self._worker())
+
+    def submit(self, column: np.ndarray) -> "asyncio.Future[dict[str, Any]]":
+        """Enqueue one observe; the future resolves after its batch applies.
+
+        Raises 429 (with a retry hint) at the queue depth limit and 409
+        once the session is closing.
+        """
+        if self._closed:
+            raise HTTPError(409, f"session {self.name!r} is closing")
+        try:
+            return self._queue.submit(column)
+        except QueueFull:
+            inc("serve.observe.rejected")
+            raise HTTPError(
+                429,
+                f"session {self.name!r} write queue is full",
+                retry_after=self._retry_after,
+            ) from None
+        except QueueClosed:
+            raise HTTPError(409, f"session {self.name!r} is closing") from None
+
+    def pause(self) -> None:
+        """Stop applying batches (writes queue up; reads stay live)."""
+        self._gate.clear()
+
+    def resume(self) -> None:
+        self._gate.set()
+
+    async def drain(self) -> None:
+        """Reject new writes, apply everything queued, stop the worker."""
+        self._closed = True
+        self._queue.close()
+        self._gate.set()  # a paused session must still drain
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    async def checkpoint(self) -> Path | None:
+        """Persist the engine to the session's ``.npz`` path (off-loop)."""
+        if self._checkpoint_path is None or self._engine.count == 0:
+            return None
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, save_checkpoint, self._engine, self._checkpoint_path
+        )
+        inc("serve.checkpoints")
+        return self._checkpoint_path
+
+    # -- the single writer ----------------------------------------------
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await self._queue.next_batch()
+            if batch is None:
+                break
+            await self._gate.wait()  # honor pause before touching the engine
+            with span("serve.session.batch", session=self.name, size=len(batch)):
+                outcomes = await loop.run_in_executor(
+                    None, self._apply, [pending.payload for pending in batch]
+                )
+            self._publish()
+            observe("serve.batch.size", float(len(batch)))
+            self._resolve(batch, outcomes)
+
+    def _apply(
+        self, columns: list[np.ndarray]
+    ) -> list[tuple[dict[str, Any] | None, Exception | None]]:
+        """Apply one micro-batch in FIFO order (runs in the executor).
+
+        Each column is one full incremental update — identical to the
+        serial ``StreamingAggregator.observe`` path, so batching cannot
+        change results.  Failures are isolated per item: a bad column
+        rejects its own future, the rest of the batch still applies.
+        """
+        outcomes: list[tuple[dict[str, Any] | None, Exception | None]] = []
+        for column in columns:
+            try:
+                update = self._engine.observe(column)
+            except Exception as error:
+                outcomes.append((None, error))
+            else:
+                outcomes.append(
+                    (
+                        {
+                            "session": self.name,
+                            "index": update.index,
+                            "cost": update.cost,
+                            "disagreements": update.disagreements,
+                            "k": update.k,
+                            "used_sampling": update.used_sampling,
+                        },
+                        None,
+                    )
+                )
+        return outcomes
+
+    def _publish(self) -> None:
+        """Swap in a fresh immutable snapshot (one per applied batch)."""
+        engine = self._engine
+        if engine.count == 0:
+            return
+        consensus = engine.consensus
+        labels = consensus.labels.copy()
+        labels.setflags(write=False)
+        self._version += 1
+        self._snapshot = ConsensusSnapshot(
+            version=self._version,
+            count=engine.count,
+            k=consensus.k,
+            cost=engine.cost(),
+            disagreements=engine.disagreements(),
+            labels=labels,
+        )
+
+    def _resolve(
+        self,
+        batch: list[Pending],
+        outcomes: list[tuple[dict[str, Any] | None, Exception | None]],
+    ) -> None:
+        version = self._version
+        size = len(batch)
+        for pending, (result, error) in zip(batch, outcomes):
+            if pending.future.cancelled():
+                continue
+            if error is not None:
+                pending.future.set_exception(
+                    error
+                    if isinstance(error, HTTPError)
+                    else HTTPError(500, f"observe failed: {error}")
+                )
+            else:
+                assert result is not None
+                pending.future.set_result({**result, "batched": size, "version": version})
+
+
+class SessionManager:
+    """The tenant table: bounded named sessions with checkpoint persistence."""
+
+    def __init__(
+        self,
+        *,
+        max_sessions: int = 64,
+        queue_limit: int = 256,
+        batch_window: float = 0.002,
+        max_batch: int = 64,
+        checkpoint_dir: Path | None = None,
+    ) -> None:
+        self._sessions: dict[str, Session] = {}
+        self._creating: set[str] = set()
+        self._max_sessions = int(max_sessions)
+        self._queue_limit = int(queue_limit)
+        self._batch_window = float(batch_window)
+        self._max_batch = int(max_batch)
+        self._checkpoint_dir = checkpoint_dir
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def names(self) -> list[str]:
+        return sorted(self._sessions)
+
+    def values(self) -> list[Session]:
+        return [self._sessions[name] for name in self.names()]
+
+    def get(self, name: str) -> Session:
+        session = self._sessions.get(name)
+        if session is None:
+            raise HTTPError(404, f"unknown session {name!r}")
+        return session
+
+    def _checkpoint_path(self, name: str) -> Path | None:
+        if self._checkpoint_dir is None:
+            return None
+        return self._checkpoint_dir / f"{name}.npz"
+
+    async def create(self, config: dict[str, Any]) -> tuple[Session, bool]:
+        """Create (or restore) a named session from a validated config.
+
+        Returns ``(session, restored)``; ``restored`` is True when an
+        existing checkpoint was adopted.  A checkpoint whose ``n``,
+        ``p``, ``missing`` or ``decay`` disagrees with the requested
+        config is a 409 — silently adopting inconsistent state would
+        poison every later read.
+        """
+        name = config["name"]
+        if name in self._sessions or name in self._creating:
+            raise HTTPError(409, f"session {name!r} already exists")
+        if len(self._sessions) + len(self._creating) >= self._max_sessions:
+            raise HTTPError(
+                503,
+                f"session table is full (max_sessions={self._max_sessions})",
+                retry_after=1.0,
+            )
+        self._creating.add(name)
+        try:
+            engine, restored = await self._build_engine(config)
+            session = Session(
+                name,
+                engine,
+                queue_limit=self._queue_limit,
+                batch_window=self._batch_window,
+                max_batch=self._max_batch,
+                checkpoint_path=self._checkpoint_path(name),
+            )
+            session.start()
+            self._sessions[name] = session
+        finally:
+            self._creating.discard(name)
+        set_gauge("serve.sessions", float(len(self._sessions)))
+        return session, restored
+
+    async def _build_engine(
+        self, config: dict[str, Any]
+    ) -> tuple[StreamingAggregator, bool]:
+        n = config["n"]
+        engine_kwargs = config["engine"]
+        path = self._checkpoint_path(config["name"])
+        if path is not None and path.exists():
+            loop = asyncio.get_running_loop()
+            restore = partial(
+                load_checkpoint,
+                path,
+                n=n,
+                p=engine_kwargs["p"],
+                missing=engine_kwargs["missing"],
+                decay=engine_kwargs["decay"],
+            )
+            try:
+                return await loop.run_in_executor(None, restore), True
+            except ValueError as error:
+                raise HTTPError(
+                    409, f"checkpoint mismatch for session {config['name']!r}: {error}"
+                ) from error
+        return StreamingAggregator(n, **engine_kwargs), False
+
+    async def remove(self, name: str) -> dict[str, Any]:
+        """Drain, checkpoint, and drop one session; returns its final info."""
+        session = self.get(name)
+        del self._sessions[name]
+        await session.drain()
+        path = await session.checkpoint()
+        set_gauge("serve.sessions", float(len(self._sessions)))
+        info = session.info()
+        info["checkpoint"] = None if path is None else str(path)
+        return info
+
+    async def shutdown(self) -> list[str]:
+        """Drain every session, checkpoint each, empty the table.
+
+        Returns the checkpoint paths written (sessions with no updates
+        or no checkpoint dir write nothing).
+        """
+        sessions = self.values()
+        self._sessions.clear()
+        await asyncio.gather(*(session.drain() for session in sessions))
+        paths = await asyncio.gather(*(session.checkpoint() for session in sessions))
+        set_gauge("serve.sessions", 0.0)
+        return [str(path) for path in paths if path is not None]

@@ -69,9 +69,54 @@ def save_checkpoint(engine: StreamingAggregator, path: str | Path) -> Path:
     return path
 
 
-def load_checkpoint(path: str | Path) -> StreamingAggregator:
-    """Restore a :class:`StreamingAggregator` saved by :func:`save_checkpoint`."""
-    with np.load(Path(path), allow_pickle=False) as archive:
+def _check_config(saved: dict[str, Any], expected: dict[str, Any], path: Path) -> None:
+    """Reject a checkpoint whose saved config disagrees with the caller's.
+
+    Silently adopting mismatched state would poison every later update:
+    a wrong ``n`` breaks indexing outright, while a wrong ``p``,
+    ``missing`` mode, or ``decay`` quietly changes the objective the
+    restored engine optimizes.  The ``n`` message keeps the historical
+    "checkpoint covers N objects" phrasing callers grep for.
+    """
+    expected_n = expected.get("n")
+    if expected_n is not None and int(saved["n"]) != int(expected_n):
+        raise ValueError(
+            f"checkpoint covers {int(saved['n'])} objects but {int(expected_n)} "
+            f"were requested ({path})"
+        )
+    for key in ("p", "decay"):
+        wanted = expected.get(key)
+        if wanted is not None and float(saved[key]) != float(wanted):
+            raise ValueError(
+                f"checkpoint was written with {key}={saved[key]} but {key}={wanted} "
+                f"was requested ({path})"
+            )
+    wanted_missing = expected.get("missing")
+    if wanted_missing is not None and saved["missing"] != wanted_missing:
+        raise ValueError(
+            f"checkpoint was written with missing={saved['missing']!r} but "
+            f"missing={wanted_missing!r} was requested ({path})"
+        )
+
+
+def load_checkpoint(
+    path: str | Path,
+    *,
+    n: int | None = None,
+    p: float | None = None,
+    missing: str | None = None,
+    decay: float | None = None,
+) -> StreamingAggregator:
+    """Restore a :class:`StreamingAggregator` saved by :func:`save_checkpoint`.
+
+    The keyword arguments are optional *expectations*: pass the config the
+    caller is about to resume with and the load fails with a
+    :class:`ValueError` when the checkpoint was written under a different
+    ``n``/``p``/``missing``/``decay`` instead of silently adopting
+    inconsistent state.  Omitted (``None``) expectations are not checked.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
         meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
         version = meta.get("version")
         if version != CHECKPOINT_VERSION:
@@ -79,7 +124,10 @@ def load_checkpoint(path: str | Path) -> StreamingAggregator:
                 f"unsupported checkpoint version {version!r} "
                 f"(this build reads version {CHECKPOINT_VERSION})"
             )
-        state = {
+        _check_config(
+            meta["instance"], {"n": n, "p": p, "missing": missing, "decay": decay}, path
+        )
+        state: dict[str, Any] = {
             "instance": {
                 "separation": archive["separation"],
                 "comparable": archive["comparable"] if "comparable" in archive else None,

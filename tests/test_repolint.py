@@ -465,6 +465,62 @@ def test_rpr008_suppressible_inline() -> None:
 
 
 # ---------------------------------------------------------------------------
+# RPR009: blocking calls inside async def bodies (repro.serve only)
+# ---------------------------------------------------------------------------
+
+SERVE = "src/repro/serve/snippet.py"
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import time\nasync def h():\n    time.sleep(1)\n",
+        "from time import sleep\nasync def h():\n    sleep(0.1)\n",
+        "async def h():\n    open('x')\n",
+        "import numpy as np\nasync def h():\n    np.load('x.npz')\n",
+        "import numpy as np\nasync def h():\n    np.savez_compressed('x.npz')\n",
+        "async def h(path):\n    path.read_text()\n",
+        "async def h(path):\n    path.write_bytes(b'x')\n",
+        "from repro.parallel.build import pool\nasync def h():\n    pool(4)\n",
+        "from repro.parallel import build\nasync def h():\n    build.pool(4)\n",
+        "from repro.parallel.build import pool\nasync def h():\n    pool(4).map(str, [1])\n",
+    ],
+)
+def test_rpr009_flags_blocking_calls_in_async_defs(source: str) -> None:
+    assert "RPR009" in codes(source, path=SERVE)
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        # Sync functions may block: the worker-thread targets live there.
+        "import time\ndef apply():\n    time.sleep(1)\n    open('x')\n",
+        # The sanctioned pattern: hand blocking work to the executor.
+        "async def h(loop, fn):\n    await loop.run_in_executor(None, fn)\n",
+        "import asyncio\nasync def h():\n    await asyncio.sleep(0.1)\n",
+        # A sync helper nested inside an async def is executor fodder, not
+        # event-loop code.
+        "async def h():\n    def inner():\n        open('x')\n",
+        # Non-file numpy stays usable in handlers.
+        "import numpy as np\nasync def h(a):\n    return np.asarray(a)\n",
+    ],
+)
+def test_rpr009_clean_async_patterns(source: str) -> None:
+    assert codes(source, path=SERVE) == []
+
+
+def test_rpr009_scoped_to_the_serve_package() -> None:
+    source = "import time\nasync def h():\n    time.sleep(1)\n"
+    assert codes(source, path=CORE) == []
+    assert codes(source, path=OUTSIDE) == []
+
+
+def test_rpr009_suppressible_inline() -> None:
+    source = "async def h():\n    open('x')  # repolint: disable=RPR009\n"
+    assert codes(source, path=SERVE) == []
+
+
+# ---------------------------------------------------------------------------
 # Findings, path handling, CLI
 # ---------------------------------------------------------------------------
 
@@ -522,12 +578,15 @@ def test_main_json_reports_every_rule_id(tmp_path, capsys) -> None:
     (core / "r6.py").write_text("from multiprocessing import Pool\n")
     (core / "r7.py").write_text("from time import perf_counter\n")
     (algos / "r8.py").write_text("def f(instance):\n    return instance.X\n")
+    serve = tmp_path / "repro" / "serve"
+    serve.mkdir(parents=True)
+    (serve / "r9.py").write_text("import time\nasync def h():\n    time.sleep(1)\n")
 
     exit_code = main(["--json", str(tmp_path)])
     report = json.loads(capsys.readouterr().out)
 
     assert exit_code == 1
-    assert report["files_checked"] == 8
+    assert report["files_checked"] == 9
     seen = {finding["rule"] for finding in report["findings"]}
     assert seen == {
         "RPR001",
@@ -538,6 +597,7 @@ def test_main_json_reports_every_rule_id(tmp_path, capsys) -> None:
         "RPR006",
         "RPR007",
         "RPR008",
+        "RPR009",
     }
     by_rule = {f["rule"]: f for f in report["findings"]}
     assert by_rule["RPR001"]["path"].endswith("r1.py")
@@ -545,6 +605,7 @@ def test_main_json_reports_every_rule_id(tmp_path, capsys) -> None:
     assert by_rule["RPR006"]["path"].endswith("r6.py")
     assert by_rule["RPR007"]["path"].endswith("r7.py")
     assert by_rule["RPR008"]["path"].endswith("r8.py")
+    assert by_rule["RPR009"]["path"].endswith("r9.py")
 
 
 def test_repository_is_lint_clean() -> None:

@@ -230,6 +230,30 @@ class TestCheckpoint:
         with pytest.raises(RuntimeError):
             _ = restored.consensus
 
+    def test_restore_validates_expected_config(self, tmp_path):
+        matrix = generate_votes(n=30, rng=2).label_matrix()
+        engine = StreamingAggregator(matrix.shape[0], p=0.5, decay=0.95)
+        engine.observe_many(matrix[:, :4])
+        path = save_checkpoint(engine, tmp_path / "ck.npz")
+
+        restored = load_checkpoint(path, n=30, p=0.5, missing="coin-flip", decay=0.95)
+        assert restored.count == engine.count
+
+        with pytest.raises(ValueError, match="checkpoint covers 30 objects but 31"):
+            load_checkpoint(path, n=31)
+        with pytest.raises(ValueError, match="p=0.5 but p=0.3"):
+            load_checkpoint(path, p=0.3)
+        with pytest.raises(ValueError, match="missing='coin-flip' but missing='average'"):
+            load_checkpoint(path, missing="average")
+        with pytest.raises(ValueError, match="decay=0.95 but decay=1.0"):
+            load_checkpoint(path, decay=1.0)
+
+    def test_restore_without_expectations_is_unchecked(self, tmp_path):
+        engine = StreamingAggregator(8, decay=0.7)
+        path = save_checkpoint(engine, tmp_path / "ck.npz")
+        # No expectations given: the checkpoint's own config wins.
+        assert load_checkpoint(path).incremental.decay == 0.7
+
     def test_version_mismatch_rejected(self, tmp_path):
         import json
 
