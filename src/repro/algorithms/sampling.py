@@ -191,7 +191,11 @@ def sampling(
             else:
                 backend = instance.backend
                 sizes = sample_clustering.sizes().astype(np.float64)
-                for start in range(0, rest.size, _ASSIGN_BLOCK):
+                # Not a reduction over the pair grid: each block is an
+                # independent O(|block| x |sample|) gather, so the size is
+                # tuned to the sample width (and matches parallel_assign's
+                # block_size) rather than reduction_block_rows().
+                for start in range(0, rest.size, _ASSIGN_BLOCK):  # repolint: disable=RPR013
                     block = rest[start : start + _ASSIGN_BLOCK]
                     # O(|block| * |sample|) gather — the lazy backend computes
                     # it straight from the labels, never touching full rows.

@@ -1,0 +1,154 @@
+"""RPR013 — blocked kernel loops must use the shared reduction grid.
+
+Bit-identical results across backends and worker counts depend on every
+blocked reduction walking the *same* row grid
+(:func:`repro.core.backend.reduction_block_rows`); an ad-hoc block size
+in one consumer changes accumulation order and breaks dense-vs-lazy
+parity.  This pass flags every explicit-step ``range`` loop whose body
+calls a ``row_block``-family kernel unless the step derives from the
+grid: a ``reduction_block_rows(...)`` call, a local bound from one, a
+``*BLOCK_ROWS`` module constant (or one defined via the grid helper), a
+``block_rows`` parameter, or a ``.block_rows``-style attribute.
+
+Loops driven by ``backend.blocks()`` never use an explicit step and are
+clean by construction — that iterator is the preferred form.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..lint import Finding
+from .callgraph import CallGraph, FunctionInfo, body_nodes, repro_subpackage
+
+__all__ = ["check_grid"]
+
+#: Subpackages holding blocked kernels; tools/serve/obs are out of scope.
+_KERNEL_SUBPACKAGES = frozenset({"core", "algorithms", "stream", "parallel"})
+
+_BLOCK_METHODS = frozenset({"row_block", "gather_block"})
+
+_GRID_HELPER = "reduction_block_rows"
+
+
+def _step_is_grid_derived(
+    graph: CallGraph, info: FunctionInfo, step: ast.expr, grid_locals: set[str]
+) -> bool:
+    for node in ast.walk(step):
+        if isinstance(node, ast.Call):
+            dotted = _call_name(node)
+            if dotted is not None and dotted.endswith(_GRID_HELPER):
+                return True
+        elif isinstance(node, ast.Attribute) and node.attr.lower().endswith("block_rows"):
+            return True
+        elif isinstance(node, ast.Name):
+            if node.id in grid_locals:
+                return True
+            if node.id.lower().endswith("block_rows"):
+                return True
+            resolved = graph.index.resolve(info.module, (node.id,))
+            if resolved is not None and _constant_is_grid(graph, resolved):
+                return True
+    return False
+
+
+def _call_name(call: ast.Call) -> str | None:
+    names: list[str] = []
+    func: ast.expr = call.func
+    while isinstance(func, ast.Attribute):
+        names.append(func.attr)
+        func = func.value
+    if isinstance(func, ast.Name):
+        names.append(func.id)
+        return ".".join(reversed(names))
+    return None
+
+
+def _constant_is_grid(graph: CallGraph, key: str) -> bool:
+    short = key.rsplit(".", 1)[-1].lower()
+    if short.endswith("block_rows"):
+        return True
+    value = graph.index.constants.get(key)
+    if value is None:
+        return False
+    for node in ast.walk(value):
+        if isinstance(node, ast.Call):
+            dotted = _call_name(node)
+            if dotted is not None and dotted.endswith(_GRID_HELPER):
+                return True
+    return False
+
+
+def _grid_locals(graph: CallGraph, info: FunctionInfo) -> set[str]:
+    """Local names transitively bound from the grid helper or a grid param."""
+    names = {
+        arg.arg
+        for arg in (
+            info.node.args.posonlyargs + info.node.args.args + info.node.args.kwonlyargs
+        )
+        if arg.arg.lower().endswith("block_rows")
+    }
+    assigns = [
+        (node.targets, node.value)
+        for node in body_nodes(info.node)
+        if isinstance(node, ast.Assign)
+    ]
+    # Iterate: ``step = _BLOCK_ROWS`` then ``span = step * 2`` are both
+    # grid-derived.  Bounded by the number of assignments.
+    changed = True
+    while changed:
+        changed = False
+        for targets, value in assigns:
+            if not _step_is_grid_derived(graph, info, value, names):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id not in names:
+                    names.add(target.id)
+                    changed = True
+    return names
+
+
+def check_grid(graph: CallGraph) -> list[Finding]:
+    """RPR013 findings: ad-hoc block sizes in kernel-package range loops."""
+    findings: list[Finding] = []
+    for info in graph.index.functions.values():
+        if repro_subpackage(info.module) not in _KERNEL_SUBPACKAGES:
+            continue
+        grid_locals = _grid_locals(graph, info)
+        for node in body_nodes(info.node):
+            if not isinstance(node, ast.For):
+                continue
+            iterator = node.iter
+            if not (
+                isinstance(iterator, ast.Call)
+                and isinstance(iterator.func, ast.Name)
+                and iterator.func.id == "range"
+                and len(iterator.args) == 3
+            ):
+                continue
+            calls_kernel = any(
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr in _BLOCK_METHODS
+                for body_stmt in node.body
+                for child in ast.walk(body_stmt)
+            )
+            if not calls_kernel:
+                continue
+            step = iterator.args[2]
+            if _step_is_grid_derived(graph, info, step, grid_locals):
+                continue
+            findings.append(
+                Finding(
+                    path=info.path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    rule="RPR013",
+                    message=(
+                        f"blocked kernel loop in `{info.qualname}` steps by "
+                        f"`{ast.unparse(step)}` instead of the shared reduction "
+                        "grid; use backend.blocks() or reduction_block_rows()"
+                    ),
+                )
+            )
+    return findings

@@ -1,0 +1,524 @@
+"""RPR012 — shared-memory lifecycle: close (and owner-unlink) on all exits.
+
+Every ``SharedNDArray`` / ``multiprocessing.shared_memory.SharedMemory``
+creation must be released on every exit path, including exceptional
+ones — a leaked owner segment outlives the process and silently eats
+``/dev/shm``.  The pass runs a statement-ordered abstract interpretation
+per function with just enough path sensitivity for the repo's idioms:
+
+* ``with``-managed creations are clean (the context manager closes);
+* a creation assigned *directly* into an attribute, subscript, or a
+  returned expression escapes immediately — ownership moved to a
+  longer-lived holder (worker caches, ``self``, the caller);
+* ``x.close()`` / ``x.unlink()`` resolve; ``SharedNDArray.close()``
+  owner-unlinks internally, raw ``SharedMemory`` owners need both;
+* inside ``try``, a ``finally`` or ``except`` block that closes the
+  resource protects the body;
+* ``if``/``else`` fork the state and merge pessimistically (closed only
+  if closed on both arms);
+* a call that may raise while a resource is open and unprotected is an
+  exception-path leak; a path reaching ``return`` or the function's end
+  with the resource open is an all-exits leak.
+
+Functions that return a tracked resource (alone or in a tuple) become
+*creators*: their callers inherit a creation site at the call, with
+tuple-unpack position mapping — so ``instance, shared =
+attach_instance(p)`` is tracked in the caller too.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterator, Sequence
+
+from ..lint import Finding
+from .callgraph import CallGraph, FunctionInfo, body_nodes, repro_subpackage
+
+__all__ = ["check_lifecycle"]
+
+#: kind -> (human description, owner side must unlink the raw segment)
+_KINDS = {
+    "ndarray-owner": ("owner `SharedNDArray`", False),
+    "ndarray-attach": ("attached `SharedNDArray`", False),
+    "shm-owner": ("owner `SharedMemory` segment", True),
+    "shm-attach": ("attached `SharedMemory` segment", False),
+}
+
+_CLOSERS = frozenset({"close", "unlink"})
+
+
+def _dotted(node: ast.expr) -> tuple[str, ...] | None:
+    names: list[str] = []
+    while isinstance(node, ast.Attribute):
+        names.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        names.append(node.id)
+        return tuple(reversed(names))
+    return None
+
+
+@dataclasses.dataclass
+class _Resource:
+    ident: int
+    kind: str
+    name: str  #: first binding name (or the producing call text)
+    lineno: int
+    col: int
+    closed: bool = False
+    unlinked: bool = False
+    escaped: bool = False
+    protected: bool = False
+    flagged_exception: bool = False
+    flagged_exit: bool = False
+
+    @property
+    def resolved(self) -> bool:
+        if self.escaped:
+            return True
+        if not self.closed:
+            return False
+        return self.unlinked or not _KINDS[self.kind][1]
+
+    def snapshot(self) -> tuple[bool, bool, bool, bool]:
+        return (self.closed, self.unlinked, self.escaped, self.protected)
+
+    def restore(self, snap: tuple[bool, bool, bool, bool]) -> None:
+        self.closed, self.unlinked, self.escaped, self.protected = snap
+
+
+@dataclasses.dataclass(frozen=True)
+class _Creator:
+    """A function whose return value carries a fresh resource."""
+
+    kind: str
+    position: int | None  #: index in the returned tuple, None = the value itself
+
+
+class _LifecycleScanner:
+    """One function's interpretation; findings accumulate in ``findings``."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        info: FunctionInfo,
+        creators: dict[str, _Creator],
+    ) -> None:
+        self.graph = graph
+        self.info = info
+        self.creators = creators
+        self.resources: list[_Resource] = []
+        self.env: dict[str, int] = {}  #: name -> resource ident
+        self.findings: list[Finding] = []
+        self.returns_resource: _Creator | None = None
+
+    # -- creation detection ---------------------------------------------
+
+    def _creation_kind(self, call: ast.Call) -> str | None:
+        dotted = _dotted(call.func)
+        if dotted is None:
+            return None
+        canonical = self.graph.index.resolve(self.info.module, dotted)
+        name = canonical if canonical is not None else ".".join(dotted)
+        if name.endswith("SharedNDArray.create"):
+            return "ndarray-owner"
+        if name.endswith("SharedNDArray.attach"):
+            return "ndarray-attach"
+        if name.endswith("shared_memory.SharedMemory") or name == "SharedMemory":
+            creates = any(
+                kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in call.keywords
+            )
+            return "shm-owner" if creates else "shm-attach"
+        return None
+
+    def _creator_for(self, call: ast.Call) -> _Creator | None:
+        dotted = _dotted(call.func)
+        if dotted is None:
+            return None
+        canonical = self.graph.index.resolve(self.info.module, dotted)
+        if canonical is None:
+            return None
+        return self.creators.get(canonical)
+
+    def _new_resource(self, kind: str, name: str, node: ast.expr) -> int:
+        ident = len(self.resources)
+        self.resources.append(
+            _Resource(
+                ident=ident,
+                kind=kind,
+                name=name,
+                lineno=node.lineno,
+                col=node.col_offset + 1,
+            )
+        )
+        return ident
+
+    # -- entry ------------------------------------------------------------
+
+    def run(self) -> list[Finding]:
+        self._exec_block(self.info.node.body)
+        for resource in self.resources:
+            self._check_exit(resource, implicit=True)
+            desc, needs_unlink = _KINDS[resource.kind]
+            if (
+                needs_unlink
+                and resource.closed
+                and not resource.unlinked
+                and not resource.escaped
+            ):
+                self.findings.append(
+                    Finding(
+                        path=self.info.path,
+                        line=resource.lineno,
+                        col=resource.col,
+                        rule="RPR012",
+                        message=(
+                            f"{desc} `{resource.name}` in `{self.info.qualname}` "
+                            "is closed but its owner never unlinks it"
+                        ),
+                    )
+                )
+        return self.findings
+
+    # -- statement interpretation -----------------------------------------
+
+    def _exec_block(self, body: Sequence[ast.stmt]) -> bool:
+        """Interpret ``body``; True when it terminates (return/raise)."""
+        for stmt in body:
+            if self._exec_stmt(stmt):
+                return True
+        return False
+
+    def _exec_stmt(self, stmt: ast.stmt) -> bool:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return False
+        if isinstance(stmt, ast.If):
+            snaps = [r.snapshot() for r in self.resources]
+            done_body = self._exec_block(stmt.body)
+            after_body = [r.snapshot() for r in self.resources]
+            for resource, snap in zip(self.resources, snaps):
+                resource.restore(snap)
+            done_else = self._exec_block(stmt.orelse)
+            if done_body and not done_else:
+                return False  # fall-through keeps the else-arm state
+            if done_else and not done_body:
+                for resource, snap in zip(self.resources, after_body):
+                    resource.restore(snap)
+                return False
+            if done_body and done_else:
+                return True
+            for resource, snap in zip(self.resources, after_body):
+                closed_b, unlinked_b, escaped_b, _ = snap
+                resource.closed = resource.closed and closed_b
+                resource.unlinked = resource.unlinked and unlinked_b
+                resource.escaped = resource.escaped or escaped_b
+            return False
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            self._may_raise(stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) else stmt.test)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+            return False
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._exec_with(stmt)
+        if isinstance(stmt, ast.Try):
+            return self._exec_try(stmt)
+        if isinstance(stmt, ast.Assign):
+            self._exec_assign(stmt.targets, stmt.value)
+            return False
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._exec_assign([stmt.target], stmt.value)
+            return False
+        if isinstance(stmt, ast.Return):
+            return self._exec_return(stmt)
+        if isinstance(stmt, ast.Raise):
+            for resource in self._live():
+                self._flag_exception(resource, "an exception is raised")
+            return True
+        if isinstance(stmt, ast.Expr):
+            self._exec_expr_stmt(stmt.value)
+            return False
+        self._may_raise(stmt)
+        return False
+
+    def _exec_with(self, stmt: ast.With | ast.AsyncWith) -> bool:
+        for item in stmt.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call) and self._creation_kind(expr) is not None:
+                continue  # managed: the context manager closes it
+            self._may_raise(expr)
+        return self._exec_block(stmt.body)
+
+    def _exec_try(self, stmt: ast.Try) -> bool:
+        protected_names = self._closing_names(stmt.handlers, stmt.finalbody)
+        saved: dict[int, bool] = {}
+        for name, ident in self.env.items():
+            if name in protected_names:
+                saved[ident] = self.resources[ident].protected
+                self.resources[ident].protected = True
+        done = self._exec_block(stmt.body)
+        for ident, prev in saved.items():
+            self.resources[ident].protected = prev
+        for handler in stmt.handlers:
+            snaps = [r.snapshot() for r in self.resources]
+            self._exec_block(handler.body)
+            for resource, snap in zip(self.resources, snaps):
+                # Handler effects are possible, not guaranteed; keep only
+                # escapes (a handler cannot un-close on the main path).
+                escaped = resource.escaped
+                resource.restore(snap)
+                resource.escaped = resource.escaped or escaped
+        if stmt.orelse and not done:
+            done = self._exec_block(stmt.orelse)
+        if stmt.finalbody:
+            final_done = self._exec_block(stmt.finalbody)
+            done = done or final_done
+        return done
+
+    @staticmethod
+    def _closing_names(
+        handlers: Sequence[ast.ExceptHandler], finalbody: Sequence[ast.stmt]
+    ) -> set[str]:
+        names: set[str] = set()
+        nodes: list[ast.stmt] = list(finalbody)
+        for handler in handlers:
+            nodes.extend(handler.body)
+        for stmt in nodes:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _CLOSERS
+                    and isinstance(node.func.value, ast.Name)
+                ):
+                    names.add(node.func.value.id)
+        return names
+
+    # -- assignments, returns, expression statements ----------------------
+
+    def _exec_assign(self, targets: Sequence[ast.expr], value: ast.expr) -> None:
+        self._may_raise(value, skip_root_creation=True)
+        ident: int | None = None
+        if isinstance(value, ast.Call):
+            kind = self._creation_kind(value)
+            creator = self._creator_for(value) if kind is None else None
+            if kind is not None:
+                ident = self._new_resource(kind, self._target_name(targets), value)
+            elif creator is not None:
+                ident = self._new_resource(creator.kind, self._target_name(targets), value)
+                return self._bind_creator(targets, ident, creator)
+        if ident is None:
+            self._rebind(targets, value)
+            return
+        target = targets[0] if len(targets) == 1 else None
+        if isinstance(target, ast.Name):
+            self.env[target.id] = ident
+        else:
+            # Direct store into an attribute/subscript: ownership moves to
+            # the longer-lived holder (worker cache, self) — an escape.
+            self.resources[ident].escaped = True
+
+    def _bind_creator(
+        self, targets: Sequence[ast.expr], ident: int, creator: _Creator
+    ) -> None:
+        target = targets[0] if len(targets) == 1 else None
+        if (
+            creator.position is not None
+            and isinstance(target, (ast.Tuple, ast.List))
+            and creator.position < len(target.elts)
+            and isinstance(target.elts[creator.position], ast.Name)
+        ):
+            element = target.elts[creator.position]
+            assert isinstance(element, ast.Name)
+            self.env[element.id] = ident
+        elif isinstance(target, ast.Name):
+            self.env[target.id] = ident
+        else:
+            self.resources[ident].escaped = True
+
+    def _target_name(self, targets: Sequence[ast.expr]) -> str:
+        target = targets[0] if targets else None
+        if isinstance(target, ast.Name):
+            return target.id
+        if isinstance(target, (ast.Tuple, ast.List)):
+            names = [e.id for e in target.elts if isinstance(e, ast.Name)]
+            if names:
+                return names[-1]
+        return "<anonymous>"
+
+    def _rebind(self, targets: Sequence[ast.expr], value: ast.expr) -> None:
+        source = self.env.get(value.id) if isinstance(value, ast.Name) else None
+        for target in targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                if source is not None:
+                    # Stored into a longer-lived holder (worker cache,
+                    # ``self``): ownership moved with it.
+                    self.resources[source].escaped = True
+                continue
+            if not isinstance(target, ast.Name):
+                continue
+            if source is not None:
+                self.env[target.id] = source
+            else:
+                self.env.pop(target.id, None)
+
+    def _exec_return(self, stmt: ast.Return) -> bool:
+        value = stmt.value
+        if value is not None:
+            self._may_raise(value, skip_root_creation=True)
+            returned = self._returned_resources(value)
+            for ident, position in returned:
+                self.resources[ident].escaped = True
+                if self.returns_resource is None:
+                    self.returns_resource = _Creator(
+                        kind=self.resources[ident].kind, position=position
+                    )
+        for resource in self._live():
+            self._flag_exit(resource)
+        return True
+
+    def _returned_resources(self, value: ast.expr) -> list[tuple[int, int | None]]:
+        """(resource ident, tuple position) pairs escaping via this return."""
+        out: list[tuple[int, int | None]] = []
+        elements: list[tuple[ast.expr, int | None]]
+        if isinstance(value, (ast.Tuple, ast.List)):
+            elements = [(element, i) for i, element in enumerate(value.elts)]
+        else:
+            elements = [(value, None)]
+        for expr, position in elements:
+            if isinstance(expr, ast.Name) and expr.id in self.env:
+                out.append((self.env[expr.id], position))
+            elif isinstance(expr, ast.Call) and (
+                self._creation_kind(expr) is not None or self._creator_for(expr) is not None
+            ):
+                kind = self._creation_kind(expr)
+                creator = self._creator_for(expr)
+                resolved = kind if kind is not None else creator.kind  # type: ignore[union-attr]
+                ident = self._new_resource(resolved, ast.unparse(expr.func), expr)
+                out.append((ident, position))
+            else:
+                # Ownership moves into whatever the returned expression
+                # builds (e.g. ``return cls(shm, ...)``): on the success
+                # path the resource escaped with the result.
+                for node in ast.walk(expr):
+                    if isinstance(node, ast.Name) and node.id in self.env:
+                        out.append((self.env[node.id], position))
+        return out
+
+    def _exec_expr_stmt(self, value: ast.expr) -> None:
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute):
+            receiver = value.func.value
+            if isinstance(receiver, ast.Name) and receiver.id in self.env:
+                resource = self.resources[self.env[receiver.id]]
+                if value.func.attr == "close":
+                    resource.closed = True
+                    if resource.kind.startswith("ndarray"):
+                        resource.unlinked = True  # SharedNDArray.close() owner-unlinks
+                    return
+                if value.func.attr == "unlink":
+                    resource.unlinked = True
+                    return
+        self._may_raise(value)
+
+    # -- leak events -------------------------------------------------------
+
+    def _live(self) -> Iterator[_Resource]:
+        for resource in self.resources:
+            if not resource.resolved:
+                yield resource
+
+    def _may_raise(self, node: ast.AST | None, skip_root_creation: bool = False) -> None:
+        """A statement part that can raise while resources are live."""
+        if node is None:
+            return
+        risky = False
+        for child in body_nodes(node):  # type: ignore[arg-type]
+            if not isinstance(child, ast.Call):
+                continue
+            if skip_root_creation and child is node:
+                continue
+            if (
+                isinstance(child.func, ast.Attribute)
+                and child.func.attr in _CLOSERS
+                and isinstance(child.func.value, ast.Name)
+                and child.func.value.id in self.env
+            ):
+                continue
+            risky = True
+            break
+        if not risky:
+            return
+        for resource in self._live():
+            if not resource.protected:
+                self._flag_exception(resource, "a call can raise")
+
+    def _flag_exception(self, resource: _Resource, cause: str) -> None:
+        if resource.flagged_exception or resource.protected:
+            return
+        resource.flagged_exception = True
+        desc = _KINDS[resource.kind][0]
+        self.findings.append(
+            Finding(
+                path=self.info.path,
+                line=resource.lineno,
+                col=resource.col,
+                rule="RPR012",
+                message=(
+                    f"{desc} `{resource.name}` in `{self.info.qualname}` may leak: "
+                    f"{cause} while it is open with no closing handler"
+                ),
+            )
+        )
+
+    def _flag_exit(self, resource: _Resource, implicit: bool = False) -> None:
+        self._check_exit(resource, implicit)
+
+    def _check_exit(self, resource: _Resource, implicit: bool) -> None:
+        if resource.resolved or resource.flagged_exit:
+            return
+        if resource.closed and _KINDS[resource.kind][1] and not resource.unlinked:
+            return  # the dedicated unlink message covers this
+        resource.flagged_exit = True
+        desc = _KINDS[resource.kind][0]
+        where = "the end of" if implicit else "a return in"
+        self.findings.append(
+            Finding(
+                path=self.info.path,
+                line=resource.lineno,
+                col=resource.col,
+                rule="RPR012",
+                message=(
+                    f"{desc} `{resource.name}` in `{self.info.qualname}` is not "
+                    f"closed on every exit path (open at {where} the function)"
+                ),
+            )
+        )
+
+
+def check_lifecycle(graph: CallGraph) -> list[Finding]:
+    """RPR012 findings over library functions, with creator propagation."""
+    library = [
+        info
+        for info in graph.index.functions.values()
+        if repro_subpackage(info.module) is not None
+    ]
+    creators: dict[str, _Creator] = {}
+    # Fixpoint on the creator set: a creator's callers may themselves
+    # return the resource onward.  Findings are taken from the last round.
+    findings: list[Finding] = []
+    for _ in range(4):
+        findings = []
+        discovered: dict[str, _Creator] = {}
+        for info in library:
+            scanner = _LifecycleScanner(graph, info, creators)
+            findings.extend(scanner.run())
+            if scanner.returns_resource is not None:
+                discovered[info.key] = scanner.returns_resource
+        if discovered == creators:
+            break
+        creators = discovered
+    return findings

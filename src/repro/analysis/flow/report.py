@@ -1,0 +1,140 @@
+"""Output formats and the grandfather baseline for the flow analyzer.
+
+Three renderings of the same finding list:
+
+* **text** — repolint's ``path:line:col: RULE message`` lines;
+* **json** — ``{"files_checked", "findings", "baselined"}``;
+* **sarif** — minimal SARIF 2.1.0 for code-scanning upload.
+
+The baseline file holds *fingerprints* of grandfathered findings so a
+gating CI job can adopt the analyzer before every historical finding is
+fixed.  A fingerprint is ``sha1(rule|path|message)`` — deliberately
+line-free, so unrelated edits shifting a finding up or down do not break
+the match (rule messages therefore never embed line numbers).  The
+repo's committed baseline is empty: every true finding was fixed and
+every intentional one carries an inline suppression.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Sequence
+
+from ..lint import Finding
+
+__all__ = [
+    "fingerprint",
+    "load_baseline",
+    "render_json",
+    "render_sarif",
+    "split_baselined",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity for one finding: ``sha1(rule|path|message)``."""
+    raw = f"{finding.rule}|{finding.path}|{finding.message}"
+    return hashlib.sha1(raw.encode("utf-8")).hexdigest()
+
+
+def load_baseline(path: str | Path) -> frozenset[str]:
+    """Fingerprints grandfathered by ``path``; empty when absent."""
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return frozenset()
+    payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "fingerprints" not in payload:
+        raise ValueError(f"malformed baseline file: {baseline_path}")
+    return frozenset(str(item) for item in payload["fingerprints"])
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> None:
+    """Grandfather every finding in ``findings`` into the baseline file."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "fingerprints": sorted({fingerprint(finding) for finding in findings}),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_baselined(
+    findings: Sequence[Finding], baseline: frozenset[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """``(new, grandfathered)`` partition of ``findings`` against ``baseline``."""
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        (grandfathered if fingerprint(finding) in baseline else new).append(finding)
+    return new, grandfathered
+
+
+def render_json(
+    findings: Sequence[Finding], baselined: Sequence[Finding], files_checked: int
+) -> str:
+    return json.dumps(
+        {
+            "files_checked": files_checked,
+            "findings": [finding.as_dict() for finding in findings],
+            "baselined": [finding.as_dict() for finding in baselined],
+        },
+        indent=2,
+    )
+
+
+def render_sarif(
+    findings: Sequence[Finding], rules: dict[str, str], tool_name: str = "repro-flow"
+) -> str:
+    """Minimal SARIF 2.1.0 document for ``findings``."""
+    rule_ids = sorted({finding.rule for finding in findings} | set(rules))
+    sarif = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {
+                                    "text": rules.get(rule_id, rule_id)
+                                },
+                            }
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": finding.rule,
+                        "level": "error",
+                        "message": {"text": finding.message},
+                        "partialFingerprints": {"reproFlow/v1": fingerprint(finding)},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {"uri": finding.path},
+                                    "region": {
+                                        "startLine": finding.line,
+                                        "startColumn": finding.col,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for finding in findings
+                ],
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2)

@@ -1,0 +1,393 @@
+"""RPR011 — RNG provenance: one generator must not feed two workers.
+
+Deterministic parallel runs require that every parallel-work site
+receives its *own* ``np.random.Generator`` — children minted with
+``rng.spawn()`` before any fan-out — and that a generator handed to a
+child is never touched again by the parent (both would then draw the
+same stream).  This pass tracks generator values from their origins:
+
+* parameters named ``rng``/``*_rng`` or annotated ``Generator``,
+* ``np.random.default_rng(...)`` results,
+* ``rng.spawn(k)`` results (a group of independent children),
+
+through local aliases and container displays/comprehensions, to *ship
+events*: pool fan-out payloads, pool ``initargs``, executor hand-off
+arguments, and calls into functions that (transitively) ship one of
+their own parameters — the interprocedural ``ships_params`` fixpoint.
+
+Findings:
+
+* **second ship** — a generator reaches a second parallel-work site with
+  no intervening ``spawn()`` (includes the same site re-executed in a
+  loop, caught by interpreting loop bodies twice);
+* **use after ship** — a generator is used (drawn from, spawned,
+  re-passed) after it was shipped to a child.
+
+Soundness caveats: elements of one ``spawn()`` result group are assumed
+distinct (indices are not tracked), return-value taint does not
+propagate to callers, and branches merge may-shipped states.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import itertools
+from typing import Iterator, Sequence
+
+from ..lint import Finding
+from .callgraph import CallGraph, CallSite, FunctionInfo, body_nodes, repro_subpackage
+
+__all__ = ["check_rng", "compute_ships_params"]
+
+_FRESH = "fresh"
+_SHIPPED = "shipped"
+
+
+def _dotted(node: ast.expr) -> tuple[str, ...] | None:
+    names: list[str] = []
+    while isinstance(node, ast.Attribute):
+        names.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        names.append(node.id)
+        return tuple(reversed(names))
+    return None
+
+
+def _is_generator_param(arg: ast.arg) -> bool:
+    if arg.arg == "rng" or arg.arg.endswith("_rng"):
+        return True
+    annotation = arg.annotation
+    if annotation is None:
+        return False
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Attribute) and node.attr == "Generator":
+            return True
+        if isinstance(node, ast.Name) and node.id == "Generator":
+            return True
+    return False
+
+
+# -- interprocedural ships_params fixpoint -----------------------------
+
+
+def _bound_param(
+    site: CallSite, callee: FunctionInfo, arg_index: int | None, keyword: str | None
+) -> str | None:
+    """The callee parameter an argument binds to, or None when unknown."""
+    if keyword is not None:
+        return keyword if keyword in callee.all_params else None
+    if arg_index is None:
+        return None
+    params = callee.params
+    offset = 0
+    if (
+        callee.class_key is not None
+        and params
+        and params[0] in ("self", "cls")
+        and isinstance(site.node.func, ast.Attribute)
+    ):
+        offset = 1
+    position = arg_index + offset
+    return params[position] if position < len(params) else None
+
+
+def _names_in(expr: ast.expr) -> set[str]:
+    return {
+        node.id
+        for node in ast.walk(expr)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+    }
+
+
+def compute_ships_params(graph: CallGraph) -> dict[str, frozenset[str]]:
+    """For each function: parameters that flow into a parallel-work site."""
+    functions = graph.index.functions
+    ships: dict[str, set[str]] = {key: set() for key in functions}
+    changed = True
+    while changed:
+        changed = False
+        for key, info in functions.items():
+            params = set(info.all_params)
+            current = ships[key]
+            for site in graph.sites[key]:
+                fresh: set[str] = set()
+                for expr in site.shipped:
+                    fresh |= _names_in(expr) & params
+                if site.role == "plain" and site.callee in functions:
+                    callee = functions[site.callee]
+                    callee_ships = ships[site.callee]
+                    for index, arg in enumerate(site.node.args):
+                        if isinstance(arg, ast.Name) and arg.id in params:
+                            bound = _bound_param(site, callee, index, None)
+                            if bound is not None and bound in callee_ships:
+                                fresh.add(arg.id)
+                    for kw in site.node.keywords:
+                        if isinstance(kw.value, ast.Name) and kw.value.id in params:
+                            bound = _bound_param(site, callee, None, kw.arg)
+                            if bound is not None and bound in callee_ships:
+                                fresh.add(kw.value.id)
+                if not fresh <= current:
+                    current |= fresh
+                    changed = True
+    return {key: frozenset(value) for key, value in ships.items()}
+
+
+# -- per-function abstract interpretation ------------------------------
+
+
+@dataclasses.dataclass
+class _Origin:
+    ident: int
+    label: str  #: the name the generator was first bound to
+    group: bool  #: True for spawn() result groups (elements independent)
+
+
+class _RngScanner:
+    """Statement-ordered generator tracking for one function body."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        info: FunctionInfo,
+        ships_params: dict[str, frozenset[str]],
+    ) -> None:
+        self.graph = graph
+        self.info = info
+        self.ships_params = ships_params
+        self.counter = itertools.count()
+        self.origins: dict[int, _Origin] = {}
+        self.state: dict[int, str] = {}
+        self.env: dict[str, frozenset[int]] = {}
+        self.findings: list[Finding] = []
+        self.reported: set[tuple[int, int, str]] = set()
+        self.site_by_call: dict[int, CallSite] = {
+            id(site.node): site for site in graph.sites[info.key]
+        }
+
+    # -- entry ----------------------------------------------------------
+
+    def run(self) -> list[Finding]:
+        args = self.info.node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if _is_generator_param(arg):
+                self.env[arg.arg] = frozenset({self._new_origin(arg.arg, group=False)})
+        self._exec_block(self.info.node.body)
+        return self.findings
+
+    def _new_origin(self, label: str, group: bool) -> int:
+        ident = next(self.counter)
+        self.origins[ident] = _Origin(ident=ident, label=label, group=group)
+        self.state[ident] = _FRESH
+        return ident
+
+    # -- statement interpretation ---------------------------------------
+
+    def _exec_block(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt)
+
+    def _exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested units analyzed on their own
+        if isinstance(stmt, ast.If):
+            before = dict(self.state)
+            self._exec_block(stmt.body)
+            after_body = dict(self.state)
+            self.state = before
+            self._exec_block(stmt.orelse)
+            for ident in self.state:
+                if after_body.get(ident) == _SHIPPED:
+                    self.state[ident] = _SHIPPED  # may-shipped merge
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            header = stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) else stmt.test
+            self._scan_exprs(header)
+            # Two passes: a ship inside the body re-executes on the next
+            # iteration, so the second pass surfaces loop-carried second
+            # ships without unbounded iteration.
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._scan_exprs(item.context_expr)
+            self._exec_block(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body)
+            self._exec_block(stmt.orelse)
+            self._exec_block(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.Assign):
+            # A bare-name RHS is pure aliasing, not a draw from the
+            # generator — judged when the alias itself ships or is used.
+            if not isinstance(stmt.value, ast.Name):
+                self._scan_exprs(stmt)
+            self._assign(stmt.targets, stmt.value)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            self._scan_exprs(stmt)
+            if stmt.value is not None:
+                self._assign([stmt.target], stmt.value)
+            return
+        self._scan_exprs(stmt)
+
+    def _assign(self, targets: Sequence[ast.expr], value: ast.expr) -> None:
+        origins = self._value_origins(value)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if origins:
+                    self.env[target.id] = origins
+                else:
+                    self.env.pop(target.id, None)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        if origins:
+                            self.env[element.id] = origins
+                        else:
+                            self.env.pop(element.id, None)
+
+    def _value_origins(self, value: ast.expr) -> frozenset[int]:
+        """Origins a binding to ``value`` should carry (creations included)."""
+        if isinstance(value, ast.Call):
+            dotted = _dotted(value.func)
+            if dotted is not None and dotted[-1] == "default_rng":
+                return frozenset({self._new_origin("default_rng()", group=False)})
+            if dotted is not None and dotted[-1] == "spawn":
+                return frozenset({self._new_origin(f"{dotted[0]}.spawn()", group=True)})
+        return self._origins_of(value)
+
+    def _origins_of(self, expr: ast.expr) -> frozenset[int]:
+        """Origins referenced inside ``expr`` (containers and aliases).
+
+        Does not descend into nested calls: a call *result* does not
+        carry its arguments' taint (return-value taint is a documented
+        caveat), so ``specs = _method_specs(methods, params, rng)`` does
+        not alias ``specs`` to ``rng``.
+        """
+        found: set[int] = set()
+        stack: list[ast.AST] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Call):
+                continue
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                found |= self.env.get(node.id, frozenset())
+            stack.extend(ast.iter_child_nodes(node))
+        return frozenset(found)
+
+    # -- ship and use events --------------------------------------------
+
+    def _scan_exprs(self, stmt: ast.stmt | ast.expr) -> None:
+        """Process ship events then residual uses inside one statement."""
+        shipping_names: set[str] = set()
+        calls = [
+            node
+            for node in body_nodes(stmt)  # type: ignore[arg-type]
+            if isinstance(node, ast.Call)
+        ]
+        calls.sort(key=lambda c: (c.lineno, c.col_offset))
+        for call in calls:
+            shipping_names |= self._handle_call(call)
+        # Residual uses: drawing from / spawning / re-passing a name whose
+        # origin was already shipped.  Names consumed by a ship event this
+        # statement were judged by the ship handler already.
+        for node in body_nodes(stmt):  # type: ignore[arg-type]
+            if not (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)):
+                continue
+            if node.id in shipping_names:
+                continue
+            for ident in self.env.get(node.id, frozenset()):
+                origin = self.origins[ident]
+                if not origin.group and self.state.get(ident) == _SHIPPED:
+                    self._report(
+                        node.lineno,
+                        node.col_offset + 1,
+                        f"use:{ident}",
+                        f"generator `{origin.label}` used in `{self.info.qualname}` "
+                        "after being shipped to a worker; draw from a retained "
+                        "spawn() child instead",
+                    )
+        # spawn() is itself a use of its receiver.
+        for call in calls:
+            dotted = _dotted(call.func)
+            if dotted is not None and dotted[-1] == "spawn" and len(dotted) == 2:
+                for ident in self.env.get(dotted[0], frozenset()):
+                    origin = self.origins[ident]
+                    if not origin.group and self.state.get(ident) == _SHIPPED:
+                        self._report(
+                            call.lineno,
+                            call.col_offset + 1,
+                            f"use:{ident}",
+                            f"generator `{origin.label}` spawned from in "
+                            f"`{self.info.qualname}` after being shipped to a worker",
+                        )
+
+    def _handle_call(self, call: ast.Call) -> set[str]:
+        """Apply ship events for one call; returns names that shipped."""
+        site = self.site_by_call.get(id(call))
+        if site is None:
+            return set()
+        shipped_exprs: list[ast.expr] = list(site.shipped)
+        if site.role == "plain" and site.callee in self.graph.index.functions:
+            callee = self.graph.index.functions[site.callee]
+            callee_ships = self.ships_params.get(site.callee, frozenset())
+            for index, arg in enumerate(site.node.args):
+                bound = _bound_param(site, callee, index, None)
+                if bound is not None and bound in callee_ships:
+                    shipped_exprs.append(arg)
+            for kw in site.node.keywords:
+                bound = _bound_param(site, callee, None, kw.arg)
+                if bound is not None and bound in callee_ships:
+                    shipped_exprs.append(kw.value)
+        if not shipped_exprs:
+            return set()
+        names: set[str] = set()
+        for expr in shipped_exprs:
+            names |= _names_in(expr)
+            for ident in self._origins_of(expr):
+                origin = self.origins[ident]
+                if origin.group:
+                    continue  # spawn() children are independent by construction
+                if self.state.get(ident) == _SHIPPED:
+                    self._report(
+                        call.lineno,
+                        call.col_offset + 1,
+                        f"ship:{ident}",
+                        f"generator `{origin.label}` in `{self.info.qualname}` "
+                        "reaches a second parallel-work site without an "
+                        "intervening spawn()",
+                    )
+                else:
+                    self.state[ident] = _SHIPPED
+        return names
+
+    def _report(self, line: int, col: int, dedupe: str, message: str) -> None:
+        key = (line, col, dedupe)
+        if key in self.reported:
+            return
+        self.reported.add(key)
+        self.findings.append(
+            Finding(path=self.info.path, line=line, col=col, rule="RPR011", message=message)
+        )
+
+
+def _library_functions(graph: CallGraph) -> Iterator[FunctionInfo]:
+    for info in graph.index.functions.values():
+        if repro_subpackage(info.module) is not None:
+            yield info
+
+
+def check_rng(graph: CallGraph) -> list[Finding]:
+    """RPR011 findings over every library function in the graph."""
+    ships_params = compute_ships_params(graph)
+    findings: list[Finding] = []
+    for info in _library_functions(graph):
+        findings.extend(_RngScanner(graph, info, ships_params).run())
+    return findings

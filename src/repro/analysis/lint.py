@@ -60,7 +60,12 @@ Suppressions
 
 Append ``# repolint: disable=RPR001`` (comma-separate several codes) to
 the flagged line, or put ``# repolint: disable-file=RPR002`` on a line of
-its own to silence a rule for the whole file.
+its own to silence a rule for the whole file.  Directives are extracted
+from real comment tokens (:mod:`repro.analysis.suppress`) — one inside a
+string literal does nothing — a directive on any line of a multi-line
+statement covers the whole statement, and naming an unknown rule code is
+an ``RPR000`` error, not a silent no-op.  The transitive variants of
+these rules (RPR010–RPR013) live in :mod:`repro.analysis.flow`.
 
 Usage
 -----
@@ -80,10 +85,11 @@ import argparse
 import ast
 import dataclasses
 import json
-import re
 import sys
 from pathlib import Path, PurePath
 from typing import Iterable, Iterator, Sequence
+
+from .suppress import extract_suppressions
 
 __all__ = ["RULES", "Finding", "lint_source", "lint_file", "lint_paths", "main"]
 
@@ -169,9 +175,6 @@ _NDARRAY_MUTATORS = frozenset(
 
 _ALLOC_DTYPE_POSITION = {"zeros": 1, "empty": 1, "ones": 1, "full": 2}
 
-_SUPPRESS_LINE = re.compile(r"#\s*repolint:\s*disable=([A-Z0-9,\s]+)")
-_SUPPRESS_FILE = re.compile(r"#\s*repolint:\s*disable-file=([A-Z0-9,\s]+)")
-
 
 @dataclasses.dataclass(frozen=True)
 class Finding:
@@ -217,22 +220,6 @@ def _dotted_name(node: ast.expr) -> tuple[str, ...] | None:
         names.append(node.id)
         return tuple(reversed(names))
     return None
-
-
-def _collect_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
-    """Per-line and file-wide ``# repolint: disable`` directives."""
-    per_line: dict[int, set[str]] = {}
-    file_wide: set[str] = set()
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_FILE.search(text)
-        if match:
-            file_wide.update(code.strip() for code in match.group(1).split(",") if code.strip())
-            continue
-        match = _SUPPRESS_LINE.search(text)
-        if match:
-            codes = {code.strip() for code in match.group(1).split(",") if code.strip()}
-            per_line.setdefault(lineno, set()).update(codes)
-    return per_line, file_wide
 
 
 class _Checker(ast.NodeVisitor):
@@ -733,12 +720,20 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
         ]
     checker = _Checker(path, _repro_subpackage(path))
     checker.visit(tree)
-    per_line, file_wide = _collect_suppressions(source)
+    suppressions = extract_suppressions(source, tree)
     kept = [
-        finding
-        for finding in checker.findings
-        if finding.rule not in file_wide and finding.rule not in per_line.get(finding.line, set())
+        finding for finding in checker.findings if finding.rule not in suppressions.active(finding.line)
     ]
+    kept.extend(
+        Finding(
+            path=path,
+            line=line,
+            col=1,
+            rule="RPR000",
+            message=f"unknown rule code {code!r} in repolint suppression",
+        )
+        for line, code in suppressions.errors
+    )
     return sorted(kept, key=lambda f: (f.line, f.col, f.rule))
 
 

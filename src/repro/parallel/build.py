@@ -126,21 +126,29 @@ def attach_instance(payload: dict[str, Any]) -> tuple[CorrelationInstance, Share
     instance's arrays are zero-copy views into the shared segment.
     """
     shared = SharedNDArray.attach(payload["descriptor"])
-    if payload["kind"] == "lazy":
-        lazy = LazyLabelBackend(
-            shared.array,
-            p=payload["p"],
-            dtype=np.dtype(payload["dtype"]),
-            missing=payload["missing"],
-            block_rows=payload["block_rows"],
-            cache_blocks=payload["cache_blocks"],
-            validate=False,
-        )
-        instance = CorrelationInstance(m=payload["m"], weights=payload["weights"], backend=lazy)
-    else:
-        instance = CorrelationInstance(
-            shared.array, m=payload["m"], validate=False, weights=payload["weights"]
-        )
+    try:
+        if payload["kind"] == "lazy":
+            lazy = LazyLabelBackend(
+                shared.array,
+                p=payload["p"],
+                dtype=np.dtype(payload["dtype"]),
+                missing=payload["missing"],
+                block_rows=payload["block_rows"],
+                cache_blocks=payload["cache_blocks"],
+                validate=False,
+            )
+            instance = CorrelationInstance(
+                m=payload["m"], weights=payload["weights"], backend=lazy
+            )
+        else:
+            instance = CorrelationInstance(
+                shared.array, m=payload["m"], validate=False, weights=payload["weights"]
+            )
+    except BaseException:
+        # A malformed payload must not strand the attached mapping: the
+        # worker would hold the segment open for its whole lifetime.
+        shared.close()
+        raise
     return instance, shared
 
 

@@ -82,7 +82,15 @@ class SharedNDArray:
         np_dtype = np.dtype(dtype)
         size = max(1, int(np.prod(shape)) * np_dtype.itemsize)
         shm = shared_memory.SharedMemory(create=True, size=size)
-        return cls(shm, tuple(int(s) for s in shape), np_dtype, owner=True)
+        try:
+            return cls(shm, tuple(int(s) for s in shape), np_dtype, owner=True)
+        except BaseException:
+            # The segment exists the moment SharedMemory returns; if the
+            # wrapper cannot be built the owner must still unlink it or
+            # it outlives the process in /dev/shm.
+            shm.close()
+            shm.unlink()
+            raise
 
     @classmethod
     def attach(cls, descriptor: tuple[str, tuple[int, ...], str]) -> "SharedNDArray":
@@ -93,7 +101,11 @@ class SharedNDArray:
         # tracker process and the re-registration dedupes against the
         # creator's.  The creating side's unlink() is the one cleanup.
         shm = shared_memory.SharedMemory(name=name)
-        return cls(shm, tuple(shape), np.dtype(dtype_name), owner=False)
+        try:
+            return cls(shm, tuple(shape), np.dtype(dtype_name), owner=False)
+        except BaseException:
+            shm.close()
+            raise
 
     @property
     def array(self) -> np.ndarray:
