@@ -1,0 +1,297 @@
+"""Sharded divide-and-merge vs single-shot SAMPLING: time, memory, quality.
+
+Sharding exists to bound the working set by the largest shard instead of
+``n`` while staying inside the documented quality envelope
+(:data:`repro.shard.QUALITY_ENVELOPE` of single-shot SAMPLING's
+objective).  This bench puts numbers on both claims: for each
+configuration — single-shot SAMPLING, and ``method="sharded"`` at 1, 2
+and 4 shards — it runs the full aggregation in a **fresh subprocess**
+and records wall time, the child's peak RSS (``resource.getrusage``;
+a monotone per-process high-water mark, hence the subprocess isolation)
+and the consensus objective ``d(C)``.
+
+Runs three ways:
+
+- under pytest-benchmark with the other benches, at quick sizes
+  (``pytest benchmarks/bench_shard.py``) — also asserts the envelope;
+- standalone for the committed report: ``python benchmarks/bench_shard.py``
+  sweeps n = 100000 and emits ``reports/BENCH_shard.json`` +
+  ``reports/shard_scaling.txt``;
+- CI smoke: ``python benchmarks/bench_shard.py --smoke`` runs n = 20000
+  at 2 shards plus the single-shot baseline (honours ``REPRO_JOBS``) and
+  fails when the envelope is violated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+if str(SRC_DIR) not in sys.path:
+    sys.path.insert(0, str(SRC_DIR))
+
+from repro.experiments import banner, render_table  # noqa: E402
+
+_M = 8
+_K = 10
+_NOISE = 0.15
+_SEED = 7
+_SIZES = (100_000,)
+_QUICK_SIZES = (3_000,)
+_SMOKE_SIZE = 20_000
+_SHARD_COUNTS = (1, 2, 4)
+
+
+def _label_matrix(n: int, seed: int) -> np.ndarray:
+    """Planted-cluster inputs (the bench_backend workload, same reasoning)."""
+    rng = np.random.default_rng(seed)
+    truth = rng.integers(0, _K, size=n)
+    matrix = np.repeat(truth[:, None], _M, axis=1)
+    flips = rng.random((n, _M)) < _NOISE
+    matrix[flips] = rng.integers(0, _K, size=int(flips.sum()))
+    return matrix.astype(np.int32)
+
+
+def _peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes (Linux: KiB units)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak * (1 if sys.platform == "darwin" else 1024)
+
+
+def measure(variant: str, n: int) -> dict:
+    """Child-process body: aggregate one way, report cost/time/memory.
+
+    ``variant`` is ``"single"`` (one SAMPLING pass over all n rows) or
+    ``"shards=S"``.  Both paths honour ``REPRO_JOBS`` for their worker
+    budget, and both use the same root seed — sharded results are
+    bit-identical across worker counts by construction, so the numbers
+    are comparable run to run.
+    """
+    from repro.core.aggregate import aggregate
+    from repro.core.distance import total_disagreement
+
+    matrix = _label_matrix(n, seed=n)
+    start = time.perf_counter()
+    if variant == "single":
+        result = aggregate(
+            matrix, method="sampling", rng=_SEED, compute_lower_bound=False, n_jobs=None
+        )
+        extra: dict = {}
+    else:
+        n_shards = int(variant.split("=")[1])
+        result = aggregate(
+            matrix,
+            method="sharded",
+            n_shards=n_shards,
+            rng=_SEED,
+            compute_lower_bound=False,
+            n_jobs=None,
+        )
+        shard = result.params["shard"]
+        extra = {
+            "n_shards": shard["n_shards"],
+            "n_atoms": shard["n_atoms"],
+            "merge_method": shard["merge_method"],
+        }
+    seconds = time.perf_counter() - start
+    disagreements = float(total_disagreement(matrix, result.clustering))
+    return {
+        "variant": variant,
+        "n": n,
+        "m": _M,
+        "k": result.clustering.k,
+        "cost": disagreements / _M,
+        "seconds": seconds,
+        "peak_rss_bytes": _peak_rss_bytes(),
+        **extra,
+    }
+
+
+def _measure_in_subprocess(variant: str, n: int) -> dict:
+    """Run one configuration in a fresh interpreter for a clean RSS high-water."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, __file__, "--measure", variant, str(n)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    if completed.returncode != 0:
+        return {
+            "variant": variant,
+            "n": n,
+            "error": completed.stderr.strip().splitlines()[-1] if completed.stderr else "crashed",
+        }
+    return json.loads(completed.stdout)
+
+
+def _sweep(sizes: tuple[int, ...], shard_counts: tuple[int, ...]) -> list[dict]:
+    results: list[dict] = []
+    for n in sizes:
+        results.append(_measure_in_subprocess("single", n))
+        for shards in shard_counts:
+            results.append(_measure_in_subprocess(f"shards={shards}", n))
+    return results
+
+
+def _envelopes(results: list[dict]) -> list[dict]:
+    """Sharded-over-single cost and RSS ratios per (n, shards)."""
+    singles = {r["n"]: r for r in results if r.get("variant") == "single" and "cost" in r}
+    out = []
+    for r in results:
+        if "cost" not in r or r["variant"] == "single":
+            continue
+        base = singles.get(r["n"])
+        if base is None:
+            continue
+        out.append(
+            {
+                "n": r["n"],
+                "variant": r["variant"],
+                "cost_over_single": r["cost"] / base["cost"] if base["cost"] else 1.0,
+                "rss_over_single": r["peak_rss_bytes"] / base["peak_rss_bytes"],
+                "seconds_over_single": r["seconds"] / base["seconds"],
+            }
+        )
+    return out
+
+
+def _render(results: list[dict], envelopes: list[dict]) -> str:
+    rows = []
+    for r in results:
+        if "error" in r:
+            rows.append((f"{r['n']:,}", r["variant"], "error", "--", "--", "--"))
+        else:
+            rows.append(
+                (
+                    f"{r['n']:,}",
+                    r["variant"],
+                    f"{r['cost']:,.1f}",
+                    f"{r['k']}",
+                    f"{r['peak_rss_bytes'] / 2**20:,.0f} MiB",
+                    f"{r['seconds']:.2f}",
+                )
+            )
+    text = render_table(
+        ("n", "variant", "d(C)", "k", "peak RSS", "wall s"),
+        rows,
+        title=banner(f"sharded divide-and-merge vs single-shot SAMPLING (m={_M})"),
+    )
+    if envelopes:
+        ratio_rows = [
+            (
+                f"{e['n']:,}",
+                e["variant"],
+                f"{e['cost_over_single']:.3f}",
+                f"{100.0 * e['rss_over_single']:.1f}%",
+                f"{100.0 * e['seconds_over_single']:.1f}%",
+            )
+            for e in envelopes
+        ]
+        text += "\n\n" + render_table(
+            ("n", "variant", "cost / single", "RSS / single", "time / single"),
+            ratio_rows,
+        )
+    return text
+
+
+def _check_envelope(envelopes: list[dict]) -> list[str]:
+    from repro.shard import QUALITY_ENVELOPE
+
+    return [
+        f"{e['variant']} at n={e['n']}: cost ratio {e['cost_over_single']:.3f} "
+        f"exceeds the documented envelope {QUALITY_ENVELOPE}"
+        for e in envelopes
+        if e["cost_over_single"] > QUALITY_ENVELOPE
+    ]
+
+
+def _write_json(payload: dict) -> Path:
+    reports = Path(__file__).resolve().parent.parent / "reports"
+    reports.mkdir(exist_ok=True)
+    path = reports / "BENCH_shard.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def bench_shard(benchmark, report):
+    """pytest entry: quick subprocess sweep, envelope asserted."""
+    from conftest import once
+
+    results = once(benchmark, lambda: _sweep(_QUICK_SIZES, _SHARD_COUNTS))
+    envelopes = _envelopes(results)
+    report("shard_scaling_quick", _render(results, envelopes))
+    measured = [r for r in results if "cost" in r]
+    assert len(measured) == len(results), f"configurations failed: {results}"
+    violations = _check_envelope(envelopes)
+    assert not violations, "; ".join(violations)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--measure",
+        nargs=2,
+        metavar=("VARIANT", "N"),
+        help="internal: measure one configuration and print JSON",
+    )
+    parser.add_argument("--quick", action="store_true", help="small sizes for local sanity runs")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke: n=20000 at 2 shards plus the single-shot baseline",
+    )
+    args = parser.parse_args(argv)
+
+    if args.measure:
+        variant, n = args.measure
+        print(json.dumps(measure(variant, int(n))))
+        return 0
+
+    if args.smoke:
+        sizes: tuple[int, ...] = (_SMOKE_SIZE,)
+        shard_counts: tuple[int, ...] = (2,)
+    elif args.quick:
+        sizes, shard_counts = _QUICK_SIZES, _SHARD_COUNTS
+    else:
+        sizes, shard_counts = _SIZES, _SHARD_COUNTS
+
+    results = _sweep(sizes, shard_counts)
+    envelopes = _envelopes(results)
+    text = _render(results, envelopes)
+    print(text)
+    if not (args.smoke or args.quick):
+        payload = {
+            "m": _M,
+            "k": _K,
+            "seed": _SEED,
+            "results": results,
+            "envelopes": envelopes,
+        }
+        path = _write_json(payload)
+        path.with_name("shard_scaling.txt").write_text(text + "\n")
+        print(f"\nstructured output: {path}")
+    failed = [r for r in results if "error" in r]
+    if failed:
+        print(f"\n{len(failed)} configuration(s) failed", file=sys.stderr)
+        return 1
+    violations = _check_envelope(envelopes)
+    if violations:
+        print("\n" + "\n".join(violations), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,11 +10,18 @@ joins one of the clusters opened by ``0..t-1`` or opens a new one (this
 enumerates each set partition exactly once, in restricted-growth order).
 Partial solutions are pruned with
 
-    partial cost + sum_{pairs (i, j), j >= t} min(X_ij, 1 - X_ij) >= best,
+    partial cost + sum_{pairs (i, j), j >= t} w_i w_j min(X_ij, 1 - X_ij) >= best,
 
-i.e. every unresolved pair will cost at least ``min(X, 1-X)``.  The
+i.e. every unresolved pair will cost at least ``min(X, 1-X)`` times its
+pair weight (``w_i w_j`` on weighted atom instances, 1 otherwise).  The
 incumbent is seeded with the best heuristic solution so pruning bites
 immediately.
+
+Weighted (atom) instances are solved natively: a solution over ``K``
+atoms is optimal for the expanded duplicate-bearing instance among all
+clusterings that keep atoms whole — and some expanded optimum does (see
+:mod:`repro.core.atoms`) — so the branch-and-bound over atoms is exact
+for the original objects too, at Bell(K) instead of Bell(n) search size.
 """
 
 from __future__ import annotations
@@ -62,8 +69,11 @@ def exact_optimum(
 ) -> tuple[Clustering, float]:
     """The optimal clustering and its cost, by branch-and-bound.
 
-    Raises ``ValueError`` for instances with more than 18 objects — the
-    solver is meant for ground truth on small cases, not production use.
+    Weighted (atom) instances are supported: the returned cost is the
+    weighted objective, equal to the expanded instance's cost for the
+    same partition of the atoms.  Raises ``ValueError`` for instances
+    with more than 18 objects/atoms — the solver is meant for ground
+    truth on small cases, not production use.
     """
     n = instance.n
     if n > _MAX_EXACT_N:
@@ -71,16 +81,19 @@ def exact_optimum(
             f"exact_optimum handles at most {_MAX_EXACT_N} objects, got {n}; "
             "use the approximation algorithms for larger instances"
         )
-    if instance.weights is not None:
-        raise ValueError(
-            "exact_optimum does not support weighted (atom) instances; "
-            "expand the duplicates first"
-        )
     X = instance.backend.materialize(np.float64)
+    # Pair weights: w_i * w_j on weighted (atom) instances, exactly 1.0
+    # otherwise — multiplying by 1.0 keeps the unweighted path bitwise
+    # identical to the historical unweighted-only solver.
+    if instance.weights is None:
+        pair_weight = np.ones((n, n), dtype=np.float64)
+    else:
+        pair_weight = np.outer(instance.weights, instance.weights)
+    WX = pair_weight * X
 
     # Remaining-cost lower bound: pairs with the later endpoint >= t are
     # unresolved once objects 0..t-1 are placed.
-    cheapest = np.minimum(X, 1.0 - X)
+    cheapest = pair_weight * np.minimum(X, 1.0 - X)
     per_object = np.array(
         [cheapest[j, :j].sum() for j in range(n)], dtype=np.float64
     )
@@ -106,12 +119,13 @@ def exact_optimum(
             best_cost = partial_cost
             best_labels = labels[:n].copy()
             return
-        # Cost of placing object t given the first t placements: X to
-        # same-cluster members, 1 - X to different-cluster members.
-        row = X[t, :t]
+        # Cost of placing object t given the first t placements: w*X to
+        # same-cluster members, w*(1 - X) to different-cluster members.
+        row = WX[t, :t]
+        mass = pair_weight[t, :t]
         for cluster in range(used + 1):
             same = labels[:t] == cluster
-            added = float(row[same].sum()) + float((1.0 - row[~same]).sum())
+            added = float(row[same].sum()) + float((mass[~same] - row[~same]).sum())
             labels[t] = cluster
             search(t + 1, max(used, cluster + 1), partial_cost + added)
 

@@ -95,7 +95,10 @@ def sampling(
         The aggregation algorithm run on sub-instances, e.g.
         ``lambda inst: agglomerative(inst)`` or ``furthest``.
     sample_size:
-        Sample size; defaults to :func:`default_sample_size`.
+        Sample size; defaults to :func:`default_sample_size`.  An
+        explicit value larger than ``n`` (or, on weighted inputs, larger
+        than the number of rows with non-zero weight) raises a
+        ``ValueError`` naming both quantities.
     p:
         Missing-value coin-flip probability (label-matrix path only).
     rng:
@@ -131,10 +134,35 @@ def sampling(
             weights = np.asarray(weights, dtype=np.float64)
             if weights.shape != (n,):
                 raise ValueError("weights must give one multiplicity per row")
+            if np.any(weights < 0.0):
+                raise ValueError("weights must be non-negative multiplicities")
     generator = np.random.default_rng(rng)
-    size = default_sample_size(n) if sample_size is None else min(sample_size, n)
+    if sample_size is None:
+        size = default_sample_size(n)
+    else:
+        size = int(sample_size)
+        if size > n:
+            raise ValueError(
+                f"sample_size={size} exceeds the number of objects n={n}; "
+                "pass sample_size <= n (or None for the paper default)"
+            )
     if size < 1:
-        raise ValueError("sample_size must be at least 1")
+        raise ValueError(f"sample_size must be at least 1, got {size}")
+    if weights is not None:
+        # Without replacement, only rows with non-zero weight are drawable;
+        # numpy's own message ("Fewer non-zero entries in p than size") names
+        # neither the size nor the support, so resolve the conflict here.
+        support = int(np.count_nonzero(weights))
+        if support == 0:
+            raise ValueError("weights are all zero; no row can be sampled")
+        if size > support:
+            if sample_size is not None:
+                raise ValueError(
+                    f"sample_size={size} exceeds the {support} rows with "
+                    f"non-zero weight (n={n}); zero-weight rows cannot be "
+                    "drawn without replacement"
+                )
+            size = support
 
     labels = np.full(n, -1, dtype=np.int64)
     details = SamplingDetails(
@@ -247,7 +275,10 @@ def sampling(
                 inner_result = sampling(
                     matrix[singles] if matrix is not None else instance.subinstance(singles),
                     inner,
-                    sample_size=size,
+                    # The singleton set may be smaller than the sample that
+                    # produced it; clamp so the explicit-size validation
+                    # above never trips on the internal recursion.
+                    sample_size=min(size, int(singles.size)),
                     p=p,
                     rng=generator,
                     max_singleton_subproblem=max_singleton_subproblem,

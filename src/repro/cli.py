@@ -11,6 +11,11 @@ Subcommands
     (:mod:`repro.parallel`) and report the argmin-cost consensus plus a
     per-algorithm cost/time table.  ``--jobs`` (or the ``REPRO_JOBS``
     environment variable) sets the worker count.
+``shard``
+    Divide-and-merge aggregation (:mod:`repro.shard`): partition the
+    rows into shards, aggregate each shard in a forked worker, then
+    merge the shard consensus clusterings by re-aggregating a small
+    weighted-atom instance (exactly when the atom count permits).
 ``stream``
     Replay the CSV's attribute columns one at a time through the
     streaming engine (:mod:`repro.stream`), printing per-update cost,
@@ -46,6 +51,7 @@ Examples
     repro-aggregate aggregate big.csv --method sampling --inner furthest --sample-size 1000
     repro-aggregate portfolio /tmp/votes.csv --jobs 4 --seed 7
     repro-aggregate portfolio /tmp/votes.csv --trace --metrics-out /tmp/metrics.json
+    repro-aggregate shard big.csv --shards 4 --jobs 4 --seed 7 --json
     repro-aggregate stream /tmp/votes.csv --decay 0.99 --checkpoint /tmp/engine.npz
     repro-aggregate aggregate /tmp/votes.csv --method local-search --seed 7 --json
 """
@@ -60,7 +66,14 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from .core.aggregate import STOCHASTIC_METHODS, aggregate, available_methods
+from .core.distance import total_disagreement
 from .parallel.portfolio import DEFAULT_PORTFOLIO, portfolio
+from .shard import (
+    DEFAULT_MAX_EXACT_ATOMS,
+    MERGE_METHODS,
+    PARTITION_MODES,
+    shard_aggregate,
+)
 from .datasets import (
     CategoricalDataset,
     generate_census,
@@ -207,6 +220,58 @@ def _build_parser() -> argparse.ArgumentParser:
     port.add_argument("--out", default=None, help="write consensus labels to this file")
     _add_observability_arguments(port)
 
+    shard = subparsers.add_parser(
+        "shard", help="divide-and-merge aggregation over object shards"
+    )
+    shard.add_argument("csv", help="input CSV with a header row; '?' marks missing values")
+    shard.add_argument("--shards", type=int, default=4, help="number of shards")
+    shard.add_argument(
+        "--partition",
+        default="contiguous",
+        choices=PARTITION_MODES,
+        help="shard assignment: row order pieces, or a seeded permutation",
+    )
+    shard.add_argument(
+        "--shard-method",
+        default="sampling",
+        help="per-shard aggregation algorithm (sampling or any instance method)",
+    )
+    shard.add_argument("--inner", default="agglomerative", help="SAMPLING inner algorithm")
+    shard.add_argument(
+        "--sample-size", type=int, default=None, help="per-shard SAMPLING sample size"
+    )
+    shard.add_argument(
+        "--merge",
+        default="auto",
+        choices=MERGE_METHODS,
+        help="atom re-aggregation strategy (auto = exact when small)",
+    )
+    shard.add_argument(
+        "--max-exact-atoms",
+        type=int,
+        default=DEFAULT_MAX_EXACT_ATOMS,
+        help="merge=auto switches from exact to local-search above this many atoms",
+    )
+    shard.add_argument("--class-column", default="class", help="evaluation column name")
+    shard.add_argument("--no-class", action="store_true", help="treat every column as data")
+    shard.add_argument("--p", type=float, default=0.5, help="missing-value coin-flip probability")
+    shard.add_argument("--seed", type=int, default=0, help="root seed (partition + shard solves)")
+    shard.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="shard worker processes (default: REPRO_JOBS or serial; 0 = all cores)",
+    )
+    shard.add_argument(
+        "--backend",
+        default="auto",
+        choices=("auto", "dense", "lazy"),
+        help="pair-distance storage for instance-consuming shard methods",
+    )
+    shard.add_argument("--json", action="store_true", help="emit a machine-readable JSON report")
+    shard.add_argument("--out", default=None, help="write consensus labels to this file")
+    _add_observability_arguments(shard)
+
     stream = subparsers.add_parser(
         "stream", help="replay a CSV column-by-column through the streaming engine"
     )
@@ -300,7 +365,7 @@ def _command_aggregate(args: argparse.Namespace) -> int:
             params["sample_size"] = args.sample_size
     if args.method in STOCHASTIC_METHODS:
         params["rng"] = args.seed
-    compute_lb = args.method not in ("sampling", "best", "streaming")
+    compute_lb = args.method not in ("sampling", "best", "sharded", "streaming")
     result = aggregate(
         dataset.label_matrix(),
         method=args.method,
@@ -418,6 +483,72 @@ def _command_portfolio(args: argparse.Namespace) -> int:
 
     if args.out:
         np.savetxt(args.out, result.best.labels, fmt="%d")
+        if not args.json:
+            print(f"labels written   {args.out}")
+    return 0
+
+
+def _command_shard(args: argparse.Namespace) -> int:
+    class_column = None if args.no_class else args.class_column
+    dataset = CategoricalDataset.from_csv(args.csv, class_column=class_column)
+    matrix = dataset.label_matrix()
+    params: dict = {}
+    if args.sample_size is not None:
+        params["sample_size"] = args.sample_size
+    result = shard_aggregate(
+        matrix,
+        n_shards=args.shards,
+        partition=args.partition,
+        shard_method=args.shard_method,
+        inner=args.inner,
+        merge=args.merge,
+        max_exact_atoms=args.max_exact_atoms,
+        p=args.p,
+        rng=args.seed,
+        n_jobs=args.jobs,
+        backend=args.backend,
+        **params,
+    )
+    disagreements = total_disagreement(matrix, result.clustering, p=args.p)
+    class_error = (
+        None
+        if dataset.classes is None
+        else classification_error(result.clustering, dataset.classes)
+    )
+
+    if args.json:
+        report = {
+            "dataset": {
+                "name": dataset.name,
+                "rows": dataset.n,
+                "attributes": dataset.m,
+                "missing": dataset.missing_count(),
+            },
+            "seed": args.seed,
+            "disagreements": disagreements,
+            "cost": disagreements / dataset.m,
+            "class_error": class_error,
+            **result.to_dict(),
+        }
+        print(json.dumps(report))
+    else:
+        print(f"dataset          {dataset.name}: {dataset.n} rows x {dataset.m} attributes, "
+              f"{dataset.missing_count()} missing")
+        print(f"shards           {len(result.shards)} ({args.partition})  jobs={result.jobs}")
+        print("shard    rows      d(C)       k      time")
+        for run in result.shards:
+            print(f"{run.index:5d} {run.size:7d} {run.cost:10,.2f} {run.k:6d}  "
+                  f"{run.elapsed_seconds:.3f}s")
+        print(f"merge            {result.merge_method} over {result.n_atoms} atoms "
+              f"-> k={result.clustering.k}")
+        print(f"disagreements    D(C) = {disagreements:,.1f} "
+              f"(d(C) = {disagreements / dataset.m:,.1f} per input clustering)")
+        if class_error is not None:
+            print(f"class error      E_C = {class_error * 100:.1f}%")
+        print(f"time             {result.elapsed_seconds:.3f}s")
+
+    if args.out:
+        np.savetxt(args.out, result.clustering.labels, fmt="%d")
         if not args.json:
             print(f"labels written   {args.out}")
     return 0
@@ -578,6 +709,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_observed(args, _command_aggregate)
     if args.command == "portfolio":
         return _run_observed(args, _command_portfolio)
+    if args.command == "shard":
+        return _run_observed(args, _command_shard)
     if args.command == "stream":
         return _run_observed(args, _command_stream)
     if args.command == "serve":

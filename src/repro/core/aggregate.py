@@ -64,10 +64,18 @@ _INSTANCE_METHODS: dict[str, Callable[..., Clustering]] = {
 
 #: Algorithms that consume the label matrix directly (or, for
 #: ``"portfolio"``, dispatch a set of instance methods themselves).
-_MATRIX_METHODS = ("best", "portfolio", "sampling", "streaming")
+_MATRIX_METHODS = ("best", "portfolio", "sampling", "sharded", "streaming")
 
 #: Methods whose output depends on an ``rng`` seed (CLI ``--seed`` plumbing).
-STOCHASTIC_METHODS = ("annealing", "genetic", "local-search", "portfolio", "sampling", "streaming")
+STOCHASTIC_METHODS = (
+    "annealing",
+    "genetic",
+    "local-search",
+    "portfolio",
+    "sampling",
+    "sharded",
+    "streaming",
+)
 
 
 def available_methods() -> tuple[str, ...]:
@@ -165,7 +173,11 @@ def aggregate(
         :class:`~repro.stream.engine.StreamingAggregator`),
         ``"portfolio"`` (run several algorithms concurrently and keep the
         argmin cost — :func:`repro.parallel.portfolio`; per-member
-        records land in ``result.params["portfolio"]``), or ``"exact"``.
+        records land in ``result.params["portfolio"]``), ``"sharded"``
+        (divide-and-merge over object shards —
+        :func:`repro.shard.shard_aggregate`, accepting ``n_shards=``,
+        ``partition=``, ``merge=`` etc.; the per-shard and merge records
+        land in ``result.params["shard"]``), or ``"exact"``.
     p:
         Missing-value coin-flip probability (Section 2 of the paper).
     compute_lower_bound:
@@ -256,6 +268,13 @@ def aggregate(
         elif method == "sampling":
             inner = resolve_inner(params.pop("inner", "agglomerative"))
             if atoms is not None:
+                if params.get("sample_size") is not None:
+                    # The caller sized the sample against the original n;
+                    # collapsing may leave fewer atoms than that, which
+                    # simply means "sample every atom".
+                    params["sample_size"] = min(
+                        int(params["sample_size"]), atoms.n_atoms
+                    )
                 clustering = atoms.expand(
                     sampling(
                         atoms.matrix,
@@ -271,6 +290,29 @@ def aggregate(
                 if data is None:  # unreachable: inputs is always one of the three forms
                     raise ValueError("method 'sampling' needs clusterings or an instance")
                 clustering = sampling(data, inner, p=p, n_jobs=n_jobs, **params)
+        elif method == "sharded":
+            if matrix is None:
+                raise ValueError(
+                    "method 'sharded' needs the input clusterings, not a raw instance"
+                )
+            from ..shard.engine import shard_aggregate
+
+            if atoms is not None:
+                shard_result = shard_aggregate(
+                    atoms.matrix,
+                    p=p,
+                    weights=atoms.weights.astype(np.float64),
+                    n_jobs=n_jobs,
+                    backend=backend,
+                    **params,
+                )
+                clustering = atoms.expand(shard_result.clustering)
+            else:
+                shard_result = shard_aggregate(
+                    matrix, p=p, n_jobs=n_jobs, backend=backend, **params
+                )
+                clustering = shard_result.clustering
+            params["shard"] = shard_result.to_dict()
         elif method == "streaming":
             if matrix is None:
                 raise ValueError(

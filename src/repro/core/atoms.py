@@ -68,6 +68,10 @@ def collapse_duplicates(matrix: np.ndarray) -> AtomCollapse:
     unique, inverse, counts = np.unique(
         matrix, axis=0, return_inverse=True, return_counts=True
     )
+    # numpy 2.0.x returns the axis-0 inverse shaped (n, 1) (reverted to
+    # (n,) in 2.1); a 2-D inverse silently broadcasts expand() into an
+    # (n, n) label matrix, so flatten unconditionally.
+    inverse = inverse.reshape(-1)
     return AtomCollapse(
         matrix=np.ascontiguousarray(unique),
         weights=counts.astype(np.int64),

@@ -21,10 +21,11 @@ Every request is wrapped in a ``serve.<endpoint>`` span and recorded
 into per-endpoint counters (``serve.<endpoint>.requests``, per-status
 counts) and latency histograms (``serve.<endpoint>.seconds``), all
 exported by ``GET /metrics``.  One-shot aggregates run in the executor
-under a concurrency semaphore with a bounded waiting room (503 beyond
-it); heavy work — observes, aggregates, checkpoint I/O — never runs on
-the event loop.  Graceful shutdown drains every session queue, resolves
-the in-flight observes, checkpoints every session, then closes the
+under a concurrency semaphore with a bounded waiting room (429 with
+``Retry-After`` beyond it); heavy work — observes, aggregates,
+checkpoint I/O — never runs on the event loop.  Graceful shutdown waits
+for in-flight aggregates, drains every session queue, resolves the
+in-flight observes, checkpoints every session, then closes the
 listener.
 """
 
@@ -61,8 +62,9 @@ class ServeConfig:
     batch_window: float = 0.002  #: micro-batch coalescing window, seconds
     max_batch: int = 64  #: observes per micro-batch
     aggregate_concurrency: int = 2  #: one-shot aggregates running at once
-    aggregate_pending: int = 8  #: one-shot aggregates waiting (503 beyond)
+    aggregate_pending: int = 8  #: one-shot aggregates waiting (429 beyond)
     n_jobs: int | None = None  #: repro.parallel worker budget for /aggregate
+    drain_timeout: float = 30.0  #: max seconds to wait for in-flight aggregates on drain
     max_body_bytes: int = 64 * 1024 * 1024
 
 
@@ -87,6 +89,8 @@ class AggregationService:
             max(1, self._config.aggregate_concurrency)
         )
         self._aggregate_waiting = 0
+        self._aggregate_idle = asyncio.Event()
+        self._aggregate_idle.set()
         self._draining = False
         self._http = HTTPServer(self._dispatch, max_body_bytes=self._config.max_body_bytes)
         self._router = Router()
@@ -131,10 +135,21 @@ class AggregationService:
 
         New work is refused (503) the moment draining starts; observes
         already queued are applied and answered before their sessions
-        checkpoint.  Returns a drain summary for operator logs.
+        checkpoint, and in-flight one-shot aggregates (sharded runs
+        included) get to flush their responses before the listener — and
+        with it every connection task — is torn down.  The aggregate
+        wait is bounded by ``config.drain_timeout`` so a wedged executor
+        job cannot hold the shutdown hostage.  Returns a drain summary
+        for operator logs.
         """
         self._draining = True
         drained = len(self._sessions)
+        try:
+            await asyncio.wait_for(
+                self._aggregate_idle.wait(), timeout=self._config.drain_timeout
+            )
+        except asyncio.TimeoutError:
+            inc("serve.drain.aggregate_timeouts")
         checkpoints = await self._sessions.shutdown()
         await self._http.stop()
         return {"sessions": drained, "checkpoints": checkpoints}
@@ -217,13 +232,16 @@ class AggregationService:
     async def _aggregate(self, request: Request, params: dict[str, str]) -> Response:
         spec = schemas.aggregate_request(request.json(), max_n=self._config.max_n)
         if self._aggregate_waiting >= self._config.aggregate_pending:
+            # Per-client backpressure, not server failure: 429 with a
+            # Retry-After hint, matching the observe-queue convention.
             raise HTTPError(
-                503,
+                429,
                 f"aggregate waiting room is full ({self._config.aggregate_pending})",
                 retry_after=1.0,
             )
         loop = asyncio.get_running_loop()
         self._aggregate_waiting += 1
+        self._aggregate_idle.clear()
         try:
             async with self._aggregate_semaphore:
                 result = await loop.run_in_executor(
@@ -231,6 +249,8 @@ class AggregationService:
                 )
         finally:
             self._aggregate_waiting -= 1
+            if self._aggregate_waiting == 0:
+                self._aggregate_idle.set()
         return Response(payload=result)
 
     def _run_aggregate(self, spec: dict[str, Any]) -> dict[str, Any]:
@@ -247,6 +267,8 @@ class AggregationService:
         extra: dict[str, Any] = {}
         if spec["method"] in STOCHASTIC_METHODS:
             extra["rng"] = spec["rng"]
+        if spec["method"] == "sharded" and spec.get("n_shards") is not None:
+            extra["n_shards"] = spec["n_shards"]
         outcome = aggregate(
             matrix,
             method=spec["method"],
@@ -255,7 +277,7 @@ class AggregationService:
             n_jobs=self._config.n_jobs,
             **extra,
         )
-        return {
+        payload = {
             "method": outcome.method,
             "cost": outcome.cost,
             "disagreements": outcome.disagreements,
@@ -263,6 +285,9 @@ class AggregationService:
             "elapsed_seconds": outcome.elapsed_seconds,
             "labels": outcome.clustering.labels.tolist(),
         }
+        if "shard" in outcome.params:
+            payload["shard"] = outcome.params["shard"]
+        return payload
 
 
 async def run_service(

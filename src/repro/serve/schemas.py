@@ -37,7 +37,7 @@ _SESSION_KEYS = frozenset(
     {"name", "n", "p", "missing", "decay", "sampling_threshold", "sample_size", "seed"}
 )
 
-_AGGREGATE_KEYS = frozenset({"clusterings", "method", "p", "seed"})
+_AGGREGATE_KEYS = frozenset({"clusterings", "method", "n_shards", "p", "seed"})
 
 
 def _require_object(payload: Any) -> dict[str, Any]:
@@ -144,9 +144,11 @@ def observe_labels(payload: Any, n: int) -> np.ndarray:
 def aggregate_request(payload: Any, *, max_n: int) -> dict[str, Any]:
     """Validate a one-shot aggregate body.
 
-    ``{"clusterings": [[...], ...], "method"?, "p"?, "seed"?}`` — the
-    clusterings are ``m`` label vectors over the same ``n`` objects.
-    Returns ``{"matrix": (n, m) int64 array, "method", "p", "rng"}``.
+    ``{"clusterings": [[...], ...], "method"?, "n_shards"?, "p"?,
+    "seed"?}`` — the clusterings are ``m`` label vectors over the same
+    ``n`` objects; ``n_shards`` is only valid with ``method="sharded"``.
+    Returns ``{"matrix": (n, m) int64 array, "method", "p", "rng",
+    "n_shards"}``.
     """
     payload = _require_object(payload)
     _reject_unknown(payload, _AGGREGATE_KEYS, "aggregate")
@@ -169,9 +171,16 @@ def aggregate_request(payload: Any, *, max_n: int) -> dict[str, Any]:
     if not 0.0 <= p <= 1.0:
         raise HTTPError(400, "`p` must lie in [0, 1]")
     rng_seed = _integer(payload, "seed", 0)
+    n_shards = _integer(payload, "n_shards", None)
+    if n_shards is not None:
+        if method != "sharded":
+            raise HTTPError(400, "`n_shards` is only valid with method 'sharded'")
+        if n_shards < 1:
+            raise HTTPError(400, "`n_shards` must be a positive integer")
     return {
         "matrix": np.column_stack(columns),
         "method": method,
         "p": p,
         "rng": rng_seed,
+        "n_shards": n_shards,
     }

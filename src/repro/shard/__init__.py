@@ -1,0 +1,34 @@
+"""Sharded divide-and-merge aggregation (bounded per-shard instances).
+
+Partition the objects into shards (:mod:`repro.shard.partition`), solve
+each shard independently — in forked workers against a shared label
+matrix — and merge the shard consensus clusterings by re-aggregating a
+small weighted-atom instance (:mod:`repro.shard.merge`), exactly when
+the atom count permits.  :func:`shard_aggregate` is the entry point;
+``aggregate(method="sharded")`` and the ``repro shard`` CLI subcommand
+route here.
+"""
+
+from .engine import QUALITY_ENVELOPE, ShardResult, ShardRun, shard_aggregate
+from .merge import (
+    DEFAULT_MAX_EXACT_ATOMS,
+    MERGE_METHODS,
+    MergeResult,
+    atom_distances,
+    merge_shards,
+)
+from .partition import PARTITION_MODES, plan_shards
+
+__all__ = [
+    "DEFAULT_MAX_EXACT_ATOMS",
+    "MERGE_METHODS",
+    "MergeResult",
+    "PARTITION_MODES",
+    "QUALITY_ENVELOPE",
+    "ShardResult",
+    "ShardRun",
+    "atom_distances",
+    "merge_shards",
+    "plan_shards",
+    "shard_aggregate",
+]

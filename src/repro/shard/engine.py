@@ -1,0 +1,383 @@
+"""Sharded divide-and-merge aggregation.
+
+The paper's SAMPLING argument (§6) bounds instance size by clustering a
+sample and attaching the rest; sharding bounds it by *decomposition*:
+cut the ``(n, m)`` label matrix into shards, aggregate every shard
+independently (each worker sees only its own ``O((n/s)^2)`` problem),
+then merge the shard consensus clusterings through the weighted-atom
+instance of :mod:`repro.shard.merge`.  No step ever materializes a
+global quadratic object, so the memory high-water mark is set by the
+largest shard rather than by ``n`` — the first path in the library where
+instance size is bounded per shard.
+
+Execution mirrors the portfolio runner: the label matrix is placed in a
+:class:`~repro.parallel.shm.SharedNDArray` once, forked workers attach a
+zero-copy view and solve their shard, and results (labels, cost, spans)
+ride back on the pool's result channel.  Determinism: one child
+generator is spawned per shard *position* (plus one for the partition
+shuffle) before anything runs, and every in-shard solve is pinned to
+``n_jobs=1``, so the consensus is bit-identical for any worker count —
+the in-process serial path included.
+
+Quality: on the paper-style categorical datasets the sharded consensus
+stays within :data:`QUALITY_ENVELOPE` of single-shot SAMPLING's
+objective (measured by ``benchmarks/bench_shard.py``; asserted by the
+differential tests).  The merge itself never loses to the raw shard
+union — see :func:`repro.shard.merge.merge_shards`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..algorithms.sampling import sampling
+from ..core.aggregate import STOCHASTIC_METHODS, resolve_inner
+from ..core.distance import total_disagreement
+from ..core.instance import CorrelationInstance
+from ..core.labels import as_label_matrix, validate_label_matrix
+from ..core.partition import Clustering
+from ..obs.metrics import inc, observe, set_gauge
+from ..obs.profile import export_spans, merge_spans, worker_tracing
+from ..obs.trace import span
+from ..parallel.build import pool
+from ..parallel.shm import SharedNDArray, resolve_jobs
+from .merge import DEFAULT_MAX_EXACT_ATOMS, merge_shards
+from .partition import plan_shards
+
+__all__ = ["QUALITY_ENVELOPE", "ShardResult", "ShardRun", "shard_aggregate"]
+
+#: Documented quality envelope vs single-shot SAMPLING: on the paper's
+#: categorical datasets the sharded objective is at most this multiple of
+#: the single-shot SAMPLING objective for the same seed budget (measured
+#: in ``reports/BENCH_shard.json``, enforced by the differential tests).
+QUALITY_ENVELOPE = 1.15
+
+#: Per-worker state installed by the pool initializer (set in workers only).
+_WORKER: dict[str, Any] = {}
+
+
+@dataclass(frozen=True)
+class ShardRun:
+    """Observability record for one solved shard."""
+
+    index: int
+    size: int
+    k: int
+    cost: float
+    elapsed_seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly representation (CLI ``--json`` output)."""
+        return {
+            "index": self.index,
+            "size": self.size,
+            "k": self.k,
+            "cost": self.cost,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Outcome of one :func:`shard_aggregate` call.
+
+    ``shards`` preserves shard order regardless of completion order;
+    ``merge_method`` is the strategy the merge layer actually used
+    (``"exact"``, ``"local-search"``, or ``"trivial"``); ``atom_cost``
+    is the merged clustering's weighted atom-instance objective.
+    """
+
+    clustering: Clustering
+    shards: tuple[ShardRun, ...]
+    partition: str
+    merge_method: str
+    n_atoms: int
+    atom_cost: float
+    jobs: int
+    elapsed_seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly representation (clustering reported as ``k``)."""
+        return {
+            "n_shards": len(self.shards),
+            "partition": self.partition,
+            "merge_method": self.merge_method,
+            "n_atoms": self.n_atoms,
+            "atom_cost": self.atom_cost,
+            "k": self.clustering.k,
+            "jobs": self.jobs,
+            "elapsed_seconds": self.elapsed_seconds,
+            "shards": [run.to_dict() for run in self.shards],
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        sizes = "/".join(str(run.size) for run in self.shards)
+        return (
+            f"sharded shards={len(self.shards)} ({sizes})  atoms={self.n_atoms}  "
+            f"merge={self.merge_method}  k={self.clustering.k}"
+        )
+
+
+def _solve_shard(
+    matrix: np.ndarray,
+    indices: np.ndarray,
+    config: dict[str, Any],
+    child_rng: np.random.Generator,
+    position: int,
+) -> tuple[np.ndarray, float, int, float]:
+    """Aggregate one shard; shared by the serial and worker paths.
+
+    Returns ``(labels, cost, k, seconds)`` with ``cost`` the shard's own
+    ``d(C)`` (diagnostic only — the merge layer recomputes everything it
+    needs from the labels).  In-shard solves are pinned to ``n_jobs=1``:
+    parallelism lives at the shard level, and nested pools would both
+    oversubscribe and tie results to the worker topology.
+    """
+    method = config["shard_method"]
+    p = config["p"]
+    weights = config["weights"]
+    sub = matrix[indices]
+    sub_weights = None if weights is None else weights[indices]
+    with span(f"shard:{position}", rows=int(indices.size), method=method) as shard_span:
+        kwargs = dict(config["params"])
+        if method == "sampling":
+            if kwargs.get("sample_size") is not None:
+                # The caller's sample size is a global notion; per shard it
+                # cannot exceed the shard itself.
+                kwargs["sample_size"] = min(int(kwargs["sample_size"]), int(indices.size))
+            clustering = sampling(
+                sub,
+                resolve_inner(config["inner"]),
+                p=p,
+                rng=child_rng,
+                weights=sub_weights,
+                n_jobs=1,
+                **kwargs,
+            )
+            if sub_weights is None:
+                cost = total_disagreement(sub, clustering, p=p) / sub.shape[1]
+            else:
+                lazy = CorrelationInstance.lazy_from_label_matrix(
+                    sub, p=p, weights=sub_weights
+                )
+                cost = lazy.cost(clustering)
+        else:
+            instance = CorrelationInstance.from_label_matrix(
+                sub, p=p, weights=sub_weights, n_jobs=1, backend=config["backend"]
+            )
+            if method in STOCHASTIC_METHODS:
+                kwargs["rng"] = child_rng
+            clustering = resolve_inner(method)(instance, **kwargs)
+            cost = instance.cost(clustering)
+        shard_span.set(cost=cost, k=clustering.k)
+    observe("shard.member.cost", cost)
+    observe("shard.member.seconds", shard_span.seconds)
+    return (
+        clustering.labels.astype(np.int64),
+        float(cost),
+        int(clustering.k),
+        shard_span.seconds,
+    )
+
+
+def _init_shard_worker(
+    descriptor: tuple[str, tuple[int, ...], str],
+    shards: list[np.ndarray],
+    children: list[np.random.Generator],
+    config: dict[str, Any],
+) -> None:
+    shared = SharedNDArray.attach(descriptor)
+    _WORKER["shared"] = shared  # keep the mapping alive for the pool's lifetime
+    _WORKER["matrix"] = shared.array
+    _WORKER["shards"] = shards
+    _WORKER["children"] = children
+    _WORKER["config"] = config
+
+
+def _run_shard(index: int) -> tuple[int, np.ndarray, float, int, float, list[dict[str, Any]]]:
+    # Spans recorded in a forked worker die with the process, so each
+    # shard profiles into a local trace and ships it back on the result
+    # channel for the parent to graft under `shard.solve`.
+    with worker_tracing() as trace:
+        labels, cost, k, elapsed = _solve_shard(
+            _WORKER["matrix"],
+            _WORKER["shards"][index],
+            _WORKER["config"],
+            _WORKER["children"][index],
+            index,
+        )
+    return (index, labels, cost, k, elapsed, export_spans(trace))
+
+
+def shard_aggregate(
+    inputs: Sequence[Clustering] | np.ndarray,
+    n_shards: int = 4,
+    partition: str = "contiguous",
+    shard_method: str = "sampling",
+    inner: str = "agglomerative",
+    merge: str = "auto",
+    max_exact_atoms: int = DEFAULT_MAX_EXACT_ATOMS,
+    p: float = 0.5,
+    rng: np.random.Generator | int | None = None,
+    weights: np.ndarray | None = None,
+    n_jobs: int | None = None,
+    backend: str = "auto",
+    **params: Any,
+) -> ShardResult:
+    """Aggregate by sharding the objects, solving shards, merging atoms.
+
+    Parameters
+    ----------
+    inputs:
+        Input clusterings or an ``(n, m)`` label matrix (``-1`` marks
+        missing entries).  Raw correlation instances are not accepted —
+        sharding exists precisely to avoid global quadratic objects.
+    n_shards:
+        Number of shards (clamped to ``n`` so shards are never empty).
+    partition:
+        ``"contiguous"`` or ``"random"`` (seeded permutation); see
+        :func:`repro.shard.partition.plan_shards`.
+    shard_method:
+        Per-shard aggregation algorithm: ``"sampling"`` (default,
+        keeps shard memory at ``O(sample^2)``) or any instance method
+        (``"agglomerative"``, ``"local-search"``, ...).
+    inner:
+        SAMPLING's inner algorithm (``shard_method="sampling"`` only).
+    merge:
+        Merge strategy (``"auto"``, ``"exact"``, ``"local-search"``);
+        see :func:`repro.shard.merge.merge_shards`.
+    max_exact_atoms:
+        ``merge="auto"`` switches from exact branch-and-bound to
+        LOCALSEARCH above this many atoms.
+    p:
+        Missing-value coin-flip probability (§2).
+    rng:
+        Root seed or generator.  One child generator is spawned per
+        shard position (plus one for the partition shuffle) before
+        anything runs, so results are bit-identical for every
+        ``n_jobs``.
+    weights:
+        Optional per-row multiplicities (>= 1) — lets sharding compose
+        with duplicate collapsing (``aggregate(collapse=True)``).
+    n_jobs:
+        Shard-level worker count; ``None`` consults ``REPRO_JOBS``
+        (see :func:`repro.parallel.resolve_jobs`).
+    backend:
+        Pair-distance backend for instance-consuming shard methods.
+    **params:
+        Extra kwargs for the per-shard solver (e.g. ``sample_size=1000``,
+        clamped to the shard size).
+    """
+    matrix = inputs if isinstance(inputs, np.ndarray) else as_label_matrix(inputs)
+    validate_label_matrix(matrix)
+    n = matrix.shape[0]
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (n,):
+            raise ValueError("weights must give one multiplicity per row")
+        if np.any(weights < 1):
+            raise ValueError("weights must be >= 1 (duplicate multiplicities)")
+    if shard_method != "sampling":
+        resolve_inner(shard_method)  # raises early on unknown / matrix-level names
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    shards = min(int(n_shards), n)
+
+    # One independent child per shard *position*, plus one leading stream
+    # for the partition shuffle — spawned before any execution, and spawned
+    # identically in contiguous mode (where the shuffle stream goes unused)
+    # so the per-shard seeds do not depend on the partition mode.
+    if isinstance(rng, np.random.Generator):
+        streams = list(rng.spawn(shards + 1))
+    else:
+        streams = [
+            np.random.default_rng(s) for s in np.random.SeedSequence(rng).spawn(shards + 1)
+        ]
+    config = {
+        "shard_method": shard_method,
+        "inner": inner,
+        "p": p,
+        "weights": weights,
+        "backend": backend,
+        "params": dict(params),
+    }
+
+    with span("shard", n=n, shards=shards, method=shard_method) as root:
+        with span("shard.partition", n=n, shards=shards, mode=partition):
+            plan = plan_shards(n, shards, mode=partition, rng=streams[0])
+        children = streams[1:]
+        jobs = min(resolve_jobs(n_jobs), len(plan))
+
+        with span("shard.solve", shards=len(plan), jobs=jobs) as solve_span:
+            if jobs <= 1:
+                outcomes = [
+                    (i, *_solve_shard(matrix, indices, config, children[i], i))
+                    for i, indices in enumerate(plan)
+                ]
+            else:
+                with SharedNDArray.create(matrix.shape, matrix.dtype) as shared:
+                    shared.array[...] = matrix
+                    workers = pool(
+                        jobs,
+                        initializer=_init_shard_worker,
+                        initargs=(shared.descriptor, plan, children, config),
+                    )
+                    try:
+                        worker_outcomes = workers.map(_run_shard, range(len(plan)))
+                    finally:
+                        workers.close()
+                        workers.join()
+                outcomes = []
+                for index, labels, cost, k, elapsed, spans in worker_outcomes:
+                    merge_spans(spans)
+                    outcomes.append((index, labels, cost, k, elapsed))
+            outcomes.sort(key=lambda outcome: outcome[0])
+            solve_span.set(busy_seconds=sum(outcome[4] for outcome in outcomes))
+
+        # Shard cluster c of shard i becomes atom offset_i + c; canonical
+        # shard labels make the offsets a simple running sum.
+        atom_of = np.empty(n, dtype=np.int64)
+        offset = 0
+        for (_, labels, _, _, _), indices in zip(outcomes, plan):
+            atom_of[indices] = offset + labels
+            offset += int(labels.max()) + 1
+
+        with span("shard.merge", atoms=offset, merge=merge) as merge_span:
+            merged = merge_shards(
+                matrix,
+                atom_of,
+                p=p,
+                weights=weights,
+                merge=merge,
+                max_exact_atoms=max_exact_atoms,
+            )
+            merge_span.set(method=merged.method, cost=merged.atom_cost, k=merged.clustering.k)
+        root.set(atoms=merged.n_atoms, merge=merged.method, k=merged.clustering.k)
+    inc("shard.runs")
+    set_gauge("shard.jobs", jobs)
+
+    runs = tuple(
+        ShardRun(
+            index=i,
+            size=int(plan[i].size),
+            k=k,
+            cost=cost,
+            elapsed_seconds=elapsed,
+        )
+        for i, _, cost, k, elapsed in outcomes
+    )
+    return ShardResult(
+        clustering=merged.clustering,
+        shards=runs,
+        partition=partition,
+        merge_method=merged.method,
+        n_atoms=merged.n_atoms,
+        atom_cost=merged.atom_cost,
+        jobs=jobs,
+        elapsed_seconds=root.seconds,
+    )

@@ -297,7 +297,11 @@ class StreamingAggregator:
                 self._consensus = sampling(
                     instance,
                     inner=local_search,
-                    sample_size=self._sample_size,
+                    # The engine's n is fixed at construction; a configured
+                    # sample size beyond it means "sample everything".
+                    sample_size=(
+                        None if self._sample_size is None else min(self._sample_size, self.n)
+                    ),
                     rng=self._rng,
                 )
             else:

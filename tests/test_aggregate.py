@@ -19,6 +19,7 @@ ALL_METHODS = (
     "annealing",
     "genetic",
     "sampling",
+    "sharded",
     "streaming",
     "portfolio",
     "exact",

@@ -59,6 +59,46 @@ class TestCorrectness:
         with pytest.raises(ValueError):
             sampling(matrix, agglomerative, sample_size=0)
 
+    def test_explicit_sample_size_above_n_raises_with_both_values(self):
+        """Regression: an oversized explicit sample used to be silently
+        clamped to ``n``, hiding configuration errors; it must now raise
+        and name both quantities."""
+        _, matrix = planted_instance(n=50, m=3, groups=2, flip=0.1, seed=5)
+        with pytest.raises(ValueError, match=r"sample_size=51 .*n=50"):
+            sampling(matrix, agglomerative, sample_size=51)
+        instance = CorrelationInstance.from_label_matrix(matrix)
+        with pytest.raises(ValueError, match=r"sample_size=60 .*n=50"):
+            sampling(instance, agglomerative, sample_size=60)
+
+    def test_default_sample_size_still_covers_small_n(self):
+        # The paper default is clamped to n, so only *explicit* oversizing
+        # raises — the default path on small data keeps working.
+        _, matrix = planted_instance(n=40, m=3, groups=2, flip=0.1, seed=5)
+        assert sampling(matrix, agglomerative, rng=0).n == 40
+
+    def test_weighted_support_shortfall_raises_with_both_values(self):
+        """Regression: with zero-weight rows, numpy's own without-
+        replacement error ('Fewer non-zero entries in p than size') names
+        neither the requested size nor the support."""
+        matrix = np.array(
+            [[0, 0], [0, 1], [1, 0], [1, 1], [2, 2]], dtype=np.int32
+        )
+        weights = np.array([1.0, 1.0, 0.0, 0.0, 0.0])
+        with pytest.raises(ValueError, match=r"sample_size=4 .*2 rows .*non-zero"):
+            sampling(matrix, agglomerative, sample_size=4, weights=weights)
+
+    def test_all_zero_weights_raise(self):
+        matrix = np.array([[0, 0], [0, 1], [1, 0]], dtype=np.int32)
+        with pytest.raises(ValueError, match="all zero"):
+            sampling(matrix, agglomerative, sample_size=2, weights=np.zeros(3))
+
+    def test_negative_weights_raise(self):
+        matrix = np.array([[0, 0], [0, 1], [1, 0]], dtype=np.int32)
+        with pytest.raises(ValueError, match="non-negative"):
+            sampling(
+                matrix, agglomerative, sample_size=2, weights=np.array([1.0, 1.0, -1.0])
+            )
+
 
 class TestDetails:
     def test_details_reported(self):

@@ -46,6 +46,31 @@ class TestCollapse:
         with pytest.raises(ValueError):
             atoms.expand(Clustering([0]))
 
+    def test_inverse_is_flat_under_numpy_20x_shape(self, monkeypatch):
+        """Regression: numpy 2.0.x returns the axis-0 ``return_inverse``
+        shaped ``(n, 1)`` (reverted to ``(n,)`` in 2.1).  A 2-D inverse
+        silently broadcasts ``expand()`` into an ``(n, n)`` label matrix,
+        so ``collapse_duplicates`` must flatten it unconditionally."""
+        from repro.core import atoms as atoms_module
+
+        real_unique = np.unique
+
+        def unique_20x(*args, **kwargs):
+            out = real_unique(*args, **kwargs)
+            # Only axis-based unique was affected in numpy 2.0.x.
+            if kwargs.get("axis") is not None and kwargs.get("return_inverse"):
+                unique, inverse, *rest = out
+                return (unique, np.reshape(inverse, (-1, 1)), *rest)
+            return out
+
+        monkeypatch.setattr(atoms_module.np, "unique", unique_20x)
+        matrix = duplicated_problem(3)
+        atoms = atoms_module.collapse_duplicates(matrix)
+        assert atoms.inverse.ndim == 1
+        assert np.array_equal(atoms.matrix[atoms.inverse], matrix)
+        expanded = atoms.expand(Clustering(np.arange(atoms.n_atoms) % 2))
+        assert expanded.labels.shape == (matrix.shape[0],)
+
     def test_expand_preserves_atom_cohesion(self):
         matrix = duplicated_problem(2)
         atoms = collapse_duplicates(matrix)
@@ -225,14 +250,32 @@ class TestAggregateCollapse:
         with pytest.raises(ValueError, match="collapse"):
             aggregate(matrix, method="best", collapse=True)
 
-    def test_exact_rejects_weighted_instances(self):
-        matrix = duplicated_problem(9, n_atoms=6, max_copies=2)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact_weighted_matches_expanded(self, seed):
+        """Branch-and-bound on the weighted atom instance finds the same
+        optimal cost as on the physically expanded instance — the property
+        the shard merge layer relies on."""
+        matrix = duplicated_problem(9 + seed, n_atoms=6, max_copies=2)
         atoms = collapse_duplicates(matrix)
-        instance = CorrelationInstance.from_label_matrix(atoms.matrix, weights=atoms.weights)
+        collapsed = CorrelationInstance.from_label_matrix(
+            atoms.matrix, weights=atoms.weights
+        )
+        expanded = CorrelationInstance.from_label_matrix(matrix)
         from repro.algorithms import exact_optimum
 
-        with pytest.raises(ValueError, match="weighted"):
-            exact_optimum(instance)
+        atom_clustering, atom_cost = exact_optimum(collapsed)
+        _, direct_cost = exact_optimum(expanded)
+        assert atom_cost == pytest.approx(direct_cost, rel=1e-9)
+        assert expanded.cost(atoms.expand(atom_clustering)) == pytest.approx(
+            direct_cost, rel=1e-9
+        )
+
+    def test_exact_collapse_pipeline(self):
+        matrix = duplicated_problem(9, n_atoms=6, max_copies=2)
+        via_atoms = aggregate(matrix, method="exact", collapse=True)
+        direct = aggregate(matrix, method="exact")
+        assert via_atoms.cost == pytest.approx(direct.cost, rel=1e-9)
+        assert via_atoms.clustering.n == matrix.shape[0]
 
     def test_weighted_count_tables_match_expanded(self):
         """ClusterCountTables with multiplicities must equal the tables of
@@ -276,7 +319,9 @@ class TestAggregateCollapse:
         result = sampling(
             atoms.matrix,
             agglomerative,
-            sample_size=40,
+            # An explicit size is validated against the atom count now, so
+            # size it from the collapsed instance rather than the original.
+            sample_size=max(1, atoms.n_atoms // 2),
             rng=0,
             weights=atoms.weights.astype(np.float64),
         )

@@ -316,6 +316,42 @@ class TestBackpressureAndReads:
         finally:
             server.close()
 
+    def test_aggregate_waiting_room_full_yields_429_on_sharded(self):
+        """The one-shot waiting room signals per-client backpressure the
+        same way the observe queue does: 429 plus a Retry-After hint."""
+        server = ServerHarness(aggregate_pending=1, aggregate_concurrency=1)
+        release = threading.Event()
+        try:
+            columns = _columns(n_rows=30, m=4)
+            service = server.service
+            original = service._run_aggregate
+
+            def gated(spec):
+                assert release.wait(20), "test never released the gate"
+                return original(spec)
+
+            service._run_aggregate = gated
+            body = {"clusterings": columns, "method": "sharded", "n_shards": 2, "seed": 1}
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                first = pool.submit(server.request, "POST", "/aggregate", body)
+                deadline = time.monotonic() + 5
+                while time.monotonic() < deadline:
+                    if server.call(lambda: service._aggregate_waiting) >= 1:
+                        break
+                status, payload, headers = server.request("POST", "/aggregate", body)
+                assert status == 429
+                assert "Retry-After" in headers
+                assert int(headers["Retry-After"]) >= 1
+                assert "waiting room" in payload["error"]
+                release.set()
+                status, payload, _ = first.result(timeout=30)
+            assert status == 200
+            assert payload["method"] == "sharded"
+            assert payload["shard"]["n_shards"] == 2
+        finally:
+            release.set()
+            server.close()
+
     def test_consensus_reads_do_not_wait_for_writes(self):
         server = ServerHarness(batch_window=0.0)
         try:
@@ -390,6 +426,41 @@ class TestAggregateEndpoint:
         assert payload["cost"] == local.cost
         assert payload["k"] == local.k
         assert payload["labels"] == local.clustering.labels.tolist()
+
+    def test_sharded_method_parity_and_report(self, harness):
+        matrix = generate_votes(n=60, rng=3).label_matrix()[:, :6]
+        clusterings = [matrix[:, j].tolist() for j in range(matrix.shape[1])]
+        status, payload, _ = harness.request(
+            "POST",
+            "/aggregate",
+            {"clusterings": clusterings, "method": "sharded", "n_shards": 2, "seed": 5},
+        )
+        local = aggregate(
+            matrix, method="sharded", n_shards=2, rng=5, compute_lower_bound=False
+        )
+        assert status == 200
+        assert payload["method"] == "sharded"
+        assert payload["labels"] == local.clustering.labels.tolist()
+        assert payload["cost"] == local.cost
+        # The per-shard report rides along for observability parity.
+        assert payload["shard"]["n_shards"] == 2
+        assert len(payload["shard"]["shards"]) == 2
+        assert payload["shard"]["merge_method"] in ("exact", "local-search", "trivial")
+
+    def test_n_shards_validation(self, harness):
+        clusterings = [[0, 1, 0, 1], [0, 1, 1, 0]]
+        status, payload, _ = harness.request(
+            "POST", "/aggregate", {"clusterings": clusterings, "n_shards": 2}
+        )
+        assert status == 400
+        assert "sharded" in payload["error"]
+        status, payload, _ = harness.request(
+            "POST",
+            "/aggregate",
+            {"clusterings": clusterings, "method": "sharded", "n_shards": 0},
+        )
+        assert status == 400
+        assert "n_shards" in payload["error"]
 
     def test_aggregate_validation(self, harness):
         assert harness.request("POST", "/aggregate", {"clusterings": []})[0] == 400
@@ -503,6 +574,54 @@ class TestLifecycle:
             assert (status, payload["restored"]) == (201, True)
         finally:
             server.close()
+
+    def test_shutdown_waits_for_inflight_aggregate(self, tmp_path):
+        """Drain consistency: shutdown blocks (up to ``drain_timeout``)
+        until in-flight one-shot aggregates flush their responses, and
+        still checkpoints every session."""
+        server = ServerHarness(checkpoint_dir=tmp_path)
+        release = threading.Event()
+        shutdown_box: dict = {}
+        try:
+            columns = _columns(n_rows=30, m=4)
+            server.request("POST", "/sessions", {"name": "keep", "n": len(columns[0])})
+            server.request("POST", "/sessions/keep/observe", {"labels": columns[0]})
+            service = server.service
+            original = service._run_aggregate
+
+            def gated(spec):
+                assert release.wait(20), "test never released the gate"
+                return original(spec)
+
+            service._run_aggregate = gated
+            body = {"clusterings": columns, "method": "sharded", "n_shards": 2, "seed": 0}
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                inflight = pool.submit(server.request, "POST", "/aggregate", body)
+                deadline = time.monotonic() + 5
+                while time.monotonic() < deadline:
+                    if server.call(lambda: service._aggregate_waiting) >= 1:
+                        break
+
+                def close():
+                    shutdown_box["summary"] = server.close()
+
+                closing = pool.submit(close)
+                time.sleep(0.2)
+                # Shutdown is parked on the idle event, not done yet.
+                assert not closing.done()
+                release.set()
+                status, payload, _ = inflight.result(timeout=30)
+                closing.result(timeout=30)
+            assert status == 200
+            assert payload["method"] == "sharded"
+            assert shutdown_box["summary"]["checkpoints"] == [
+                str(tmp_path / "keep.npz")
+            ]
+            server.service = None  # already closed
+        finally:
+            release.set()
+            if server.service is not None:
+                server.close()
 
     def test_draining_server_refuses_new_work(self):
         server = ServerHarness()
