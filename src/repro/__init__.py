@@ -5,7 +5,9 @@ A complete, from-scratch reproduction of the paper's system:
 * the clustering-aggregation / correlation-clustering framework
   (:mod:`repro.core`),
 * the BESTCLUSTERING, BALLS, AGGLOMERATIVE, FURTHEST, LOCALSEARCH and
-  SAMPLING algorithms (:mod:`repro.algorithms`),
+  SAMPLING algorithms, plus the near-linear CC-PIVOT and CMSY rounding
+  from the later correlation-clustering literature
+  (:mod:`repro.algorithms`),
 * the vanilla clustering substrate the paper's experiments feed into the
   aggregator — k-means and hierarchical linkages (:mod:`repro.cluster`),
 * the ROCK and LIMBO categorical-clustering baselines

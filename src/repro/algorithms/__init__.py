@@ -7,6 +7,7 @@ from .best_clustering import best_clustering, column_as_candidate
 from .exact import enumerate_partitions, exact_optimum
 from .furthest import furthest
 from .local_search import local_search
+from .pivot import CMSY_A, CMSY_B, DEFAULT_LP_THRESHOLD, cmsy, cmsy_rounding, pivot
 from .sampling import SamplingDetails, default_sample_size, sampling
 
 __all__ = [
@@ -21,6 +22,12 @@ __all__ = [
     "enumerate_partitions",
     "furthest",
     "local_search",
+    "pivot",
+    "cmsy",
+    "cmsy_rounding",
+    "CMSY_A",
+    "CMSY_B",
+    "DEFAULT_LP_THRESHOLD",
     "sampling",
     "SamplingDetails",
     "default_sample_size",

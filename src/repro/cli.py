@@ -156,6 +156,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--class-column", default="class", help="evaluation column name")
     run.add_argument("--no-class", action="store_true", help="treat every column as data")
     run.add_argument("--alpha", type=float, default=None, help="BALLS acceptance threshold")
+    run.add_argument(
+        "--threshold", type=float, default=None, help="PIVOT join radius (default 0.5)"
+    )
+    run.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="PIVOT/CMSY: keep the cheapest of this many sweeps (default 1)",
+    )
     run.add_argument("--inner", default="agglomerative", help="SAMPLING inner algorithm")
     run.add_argument("--sample-size", type=int, default=None, help="SAMPLING sample size")
     run.add_argument(
@@ -359,13 +368,19 @@ def _command_aggregate(args: argparse.Namespace) -> int:
     params: dict = {}
     if args.method == "balls" and args.alpha is not None:
         params["alpha"] = args.alpha
+    if args.method == "pivot" and args.threshold is not None:
+        params["threshold"] = args.threshold
+    if args.method in ("pivot", "cmsy") and args.repeats is not None:
+        params["repeats"] = args.repeats
     if args.method == "sampling":
         params["inner"] = args.inner
         if args.sample_size is not None:
             params["sample_size"] = args.sample_size
     if args.method in STOCHASTIC_METHODS:
         params["rng"] = args.seed
-    compute_lb = args.method not in ("sampling", "best", "sharded", "streaming")
+    # Methods that never materialize pair distances have no (cheap) lower
+    # bound to report — pivot/cmsy run straight off the label matrix.
+    compute_lb = args.method not in ("sampling", "best", "cmsy", "pivot", "sharded", "streaming")
     result = aggregate(
         dataset.label_matrix(),
         method=args.method,

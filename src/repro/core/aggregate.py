@@ -35,6 +35,7 @@ from ..algorithms.best_clustering import best_clustering
 from ..algorithms.exact import exact_optimum
 from ..algorithms.furthest import furthest
 from ..algorithms.local_search import local_search
+from ..algorithms.pivot import cmsy, pivot
 from ..algorithms.sampling import sampling
 from ..consensus.genetic import genetic_consensus
 from ..obs.trace import span
@@ -59,8 +60,15 @@ _INSTANCE_METHODS: dict[str, Callable[..., Clustering]] = {
     "local-search": local_search,
     "annealing": simulated_annealing,
     "genetic": genetic_consensus,
+    "pivot": pivot,
+    "cmsy": cmsy,
     "exact": lambda instance, **kw: exact_optimum(instance, **kw)[0],
 }
+
+#: Instance methods that also accept the raw ``(n, m)`` label matrix and
+#: prefer it: :func:`aggregate` skips the instance build for these, so no
+#: ``(n, n)`` structure — dense or lazy — is ever created on their path.
+_LABEL_FAST_METHODS = ("cmsy", "pivot")
 
 #: Algorithms that consume the label matrix directly (or, for
 #: ``"portfolio"``, dispatch a set of instance methods themselves).
@@ -69,8 +77,10 @@ _MATRIX_METHODS = ("best", "portfolio", "sampling", "sharded", "streaming")
 #: Methods whose output depends on an ``rng`` seed (CLI ``--seed`` plumbing).
 STOCHASTIC_METHODS = (
     "annealing",
+    "cmsy",
     "genetic",
     "local-search",
+    "pivot",
     "portfolio",
     "sampling",
     "sharded",
@@ -168,7 +178,12 @@ def aggregate(
         One of :func:`available_methods`: ``"best"``, ``"balls"``,
         ``"agglomerative"``, ``"furthest"``, ``"local-search"``,
         ``"annealing"`` (Filkov-Skiena simulated annealing, §6),
-        ``"genetic"`` (Cristofor-Simovici GA, §6), ``"sampling"``,
+        ``"genetic"`` (Cristofor-Simovici GA, §6), ``"pivot"``
+        (CC-PIVOT/QwickCluster, expected 3-approx straight off the label
+        matrix — no ``(n, n)`` structure on the label path), ``"cmsy"``
+        (the 2.06-approx LP rounding, pivot-tier above
+        :data:`repro.algorithms.pivot.DEFAULT_LP_THRESHOLD` objects),
+        ``"sampling"``,
         ``"streaming"`` (replay the columns through a
         :class:`~repro.stream.engine.StreamingAggregator`),
         ``"portfolio"`` (run several algorithms concurrently and keep the
@@ -235,7 +250,11 @@ def aggregate(
 
             atoms = collapse_duplicates(matrix)
             build_span.set(atoms=atoms.n_atoms, objects=atoms.n_objects)
-        if instance is None and (method in _INSTANCE_METHODS or method == "portfolio"):
+        if (
+            instance is None
+            and method not in _LABEL_FAST_METHODS
+            and (method in _INSTANCE_METHODS or method == "portfolio")
+        ):
             if atoms is not None:
                 instance = CorrelationInstance.from_label_matrix(
                     atoms.matrix, p=p, weights=atoms.weights, n_jobs=n_jobs, backend=backend
@@ -247,7 +266,19 @@ def aggregate(
     build_seconds = build_span.seconds
 
     with span("aggregate.solve", method=method) as solve_span:
-        if method in _INSTANCE_METHODS:
+        if method in _LABEL_FAST_METHODS and instance is None:
+            # Backend-free fast path: pivot/cmsy consume the label matrix
+            # directly, so nothing quadratic in n is ever allocated.
+            algorithm = _INSTANCE_METHODS[method]
+            if atoms is not None:
+                clustering = atoms.expand(
+                    algorithm(
+                        atoms.matrix, p=p, weights=atoms.weights.astype(np.float64), **params
+                    )
+                )
+            else:
+                clustering = algorithm(matrix, p=p, **params)
+        elif method in _INSTANCE_METHODS:
             if instance is None:
                 raise ValueError(f"method {method!r} requires a distance matrix")
             clustering = _INSTANCE_METHODS[method](instance, **params)

@@ -35,6 +35,7 @@ __all__ = [
     "clustering_distance",
     "expected_column_distance",
     "total_disagreement",
+    "weighted_total_disagreement",
     "normalized_distance",
     "distance_matrix",
 ]
@@ -124,6 +125,78 @@ def total_disagreement(
     return float(
         sum(expected_column_distance(matrix[:, j], clustering, p=p) for j in range(matrix.shape[1]))
     )
+
+
+def _weighted_pairs_within(groups: np.ndarray, weights: np.ndarray) -> float:
+    """Weighted unordered-pair mass inside each group: ``sum_g (S_g² - Q_g) / 2``.
+
+    With unit weights this is :func:`pairs_within`; in general each pair
+    ``(u, v)`` with ``u != v`` in the same group contributes ``w_u * w_v``
+    (self-pairs contribute nothing — on atom matrices those are the
+    intra-atom pairs, which the objective defines as zero).
+    """
+    sums = np.bincount(groups, weights=weights)
+    squares = np.bincount(groups, weights=weights * weights)
+    return float((sums * sums - squares).sum() / 2.0)
+
+
+def weighted_total_disagreement(
+    matrix: np.ndarray,
+    clustering: Clustering,
+    weights: np.ndarray | None = None,
+    p: float = 0.5,
+) -> float:
+    """``D(C)`` of a label matrix whose rows carry multiplicities.
+
+    The weighted aggregation objective: every unordered row pair
+    ``(u, v)`` counts ``w_u * w_v`` times, so on a duplicate-collapsed
+    (atom) matrix this equals :func:`total_disagreement` of the expanded
+    clustering over the expanded matrix.  ``weights=None`` means unit
+    multiplicities, where the value coincides with
+    :func:`total_disagreement` exactly.  Missing entries follow the
+    coin-flip model at probability ``p``.  Runs in ``O(n * m)`` — one
+    contingency pass per column, never enumerating pairs.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be a probability, got {p}")
+    matrix = np.asarray(matrix)
+    n, m = matrix.shape
+    if n != clustering.n:
+        raise ValueError("label matrix rows must match the clustering size")
+    if weights is None:
+        w = np.ones(n, dtype=np.float64)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (n,):
+            raise ValueError("weights must give one multiplicity per row")
+    total_w = float(w.sum())
+    total_sq = float((w * w).sum())
+    total_pairs = (total_w * total_w - total_sq) / 2.0
+    member = clustering.labels
+    same_clu_total = _weighted_pairs_within(member, w)
+
+    total = 0.0
+    for j in range(m):
+        column = matrix[:, j]
+        present = column != MISSING
+        wc = w[present]
+        present_w = float(wc.sum())
+        present_sq = float((wc * wc).sum())
+        concrete_pairs = (present_w * present_w - present_sq) / 2.0
+        missing_pairs = total_pairs - concrete_pairs
+
+        _, codes = np.unique(column[present], return_inverse=True)
+        concrete_member = member[present]
+        joint = codes * (int(member.max()) + 1) + concrete_member
+        same_col = _weighted_pairs_within(codes, wc)
+        same_clu_concrete = _weighted_pairs_within(concrete_member, wc)
+        same_both = _weighted_pairs_within(joint, wc)
+        concrete_disagreements = same_col + same_clu_concrete - 2.0 * same_both
+
+        same_clu_missing = same_clu_total - same_clu_concrete
+        diff_clu_missing = missing_pairs - same_clu_missing
+        total += concrete_disagreements + (1.0 - p) * same_clu_missing + p * diff_clu_missing
+    return total
 
 
 def normalized_distance(first: Clustering, second: Clustering) -> float:

@@ -2,13 +2,18 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import Clustering
 from repro.analysis.contracts import contracts
 from repro.core import CorrelationInstance
-from repro.core.labels import as_label_matrix
+
+# Historical home of these helpers; re-exported so the many existing
+# ``from conftest import ...`` call sites keep working.  New tests should
+# import from tests/strategies.py directly.
+from strategies import planted_instance, random_aggregation_instance
+
+__all__ = ["planted_instance", "random_aggregation_instance"]
 
 
 @pytest.fixture(autouse=True)
@@ -48,32 +53,3 @@ def figure1_optimum() -> Clustering:
 def figure1_instance(figure1_clusterings) -> CorrelationInstance:
     """The Figure 2 correlation instance (distances 1/3, 2/3, 1)."""
     return CorrelationInstance.from_clusterings(figure1_clusterings)
-
-
-def random_aggregation_instance(
-    n: int, m: int, k: int, seed: int
-) -> tuple[np.ndarray, CorrelationInstance]:
-    """A random aggregation problem: m clusterings of n objects with <= k clusters."""
-    rng = np.random.default_rng(seed)
-    matrix = as_label_matrix([rng.integers(0, k, size=n) for _ in range(m)])
-    return matrix, CorrelationInstance.from_label_matrix(matrix)
-
-
-def planted_instance(
-    n: int, m: int, groups: int, flip: float, seed: int
-) -> tuple[np.ndarray, np.ndarray]:
-    """Clusterings that all agree on `groups` planted clusters, with noise.
-
-    Each of the ``m`` input clusterings is the planted partition with a
-    ``flip`` fraction of objects relabelled at random.  Returns
-    ``(truth_labels, label_matrix)``.
-    """
-    rng = np.random.default_rng(seed)
-    truth = rng.integers(0, groups, size=n)
-    columns = []
-    for _ in range(m):
-        noisy = truth.copy()
-        flips = rng.random(n) < flip
-        noisy[flips] = rng.integers(0, groups, size=int(flips.sum()))
-        columns.append(noisy)
-    return truth, as_label_matrix(columns)

@@ -19,6 +19,8 @@ ALL_METHODS = (
     "annealing",
     "genetic",
     "sampling",
+    "pivot",
+    "cmsy",
     "sharded",
     "streaming",
     "portfolio",

@@ -12,14 +12,22 @@ optimum:
 - AGGLOMERATIVE stays within factor 2 on ``m = 3`` inputs (the paper's
   majority-respecting bound);
 - LOCALSEARCH never ends above its starting cost, from any start;
+- PIVOT and CMSY are *expected*-factor algorithms, so their guarantees
+  are checked statistically: over a fixed seed sequence of 200+ trials
+  the mean cost must sit within a Hoeffding-style confidence margin of
+  the proven factor (3 for PIVOT, 2.06 for CMSY's LP tier) — never on a
+  single run, which can legitimately exceed the factor;
 - ``aggregate(method=...)`` reports exactly the cost of the underlying
   algorithm it dispatches to.
 
 Every assertion message embeds the generating ``(n, m, k, seed,
-missing)`` tuple so a failing case reproduces with a one-liner.
+missing)`` tuple *and* the label matrix itself, so a failing case can be
+replayed with a one-liner even if the generator recipe later changes.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 import pytest
@@ -29,11 +37,13 @@ from repro.algorithms.balls import THEORY_ALPHA, balls
 from repro.algorithms.exact import exact_optimum
 from repro.algorithms.furthest import furthest
 from repro.algorithms.local_search import local_search
+from repro.algorithms.pivot import DEFAULT_LP_THRESHOLD, cmsy, pivot
 from repro.algorithms.sampling import sampling
 from repro.core.aggregate import aggregate
 from repro.core.instance import CorrelationInstance
-from repro.core.labels import MISSING
 from repro.core.partition import Clustering
+
+from strategies import oracle_case
 
 _EPS = 1e-9
 
@@ -56,21 +66,24 @@ def _build_case(
     n: int, m: int, seed: int, missing: float
 ) -> tuple[np.ndarray, CorrelationInstance, int]:
     """A reproducible random aggregation problem, possibly with holes."""
-    rng = np.random.default_rng(seed * 10_007 + n * 101 + m)
-    k = int(rng.integers(2, max(3, n)))
-    matrix = rng.integers(0, k, size=(n, m)).astype(np.int64)
-    if missing > 0.0:
-        holes = rng.random(size=matrix.shape) < missing
-        holes[0, :] = False  # a fully-missing input clustering is invalid
-        matrix[holes] = MISSING
+    matrix, k = oracle_case(n, m, seed, missing)
     return matrix, CorrelationInstance.from_label_matrix(matrix), k
+
+
+def _context(n: int, m: int, k: int, seed: int, missing: float, matrix: np.ndarray) -> str:
+    """Assertion context: the generating tuple plus the label matrix itself,
+    so a failing case can be replayed without re-running the generator."""
+    return (
+        f"case n={n} m={m} k={k} seed={seed} missing={missing} "
+        f"matrix={matrix.tolist()}"
+    )
 
 
 @pytest.mark.parametrize("case", CASES, ids=_case_id)
 def test_heuristics_against_the_exact_oracle(case: tuple[int, int, int, float]) -> None:
     n, m, seed, missing = case
     matrix, instance, k = _build_case(n, m, seed, missing)
-    context = f"case n={n} m={m} k={k} seed={seed} missing={missing}"
+    context = _context(n, m, k, seed, missing, matrix)
 
     _, opt_cost = exact_optimum(instance)
 
@@ -80,6 +93,8 @@ def test_heuristics_against_the_exact_oracle(case: tuple[int, int, int, float]) 
         "furthest": furthest(instance),
         "local-search": local_search(instance, rng=seed),
         "sampling": sampling(instance, inner=agglomerative, sample_size=n, rng=seed),
+        "pivot": pivot(instance, rng=seed),
+        "cmsy": cmsy(instance, rng=seed),
     }
     costs = {name: instance.cost(clustering) for name, clustering in heuristics.items()}
 
@@ -107,8 +122,8 @@ def test_heuristics_against_the_exact_oracle(case: tuple[int, int, int, float]) 
 @pytest.mark.parametrize("case", CASES[:: len(CASES) // 15 or 1], ids=_case_id)
 def test_local_search_never_worsens_any_start(case: tuple[int, int, int, float]) -> None:
     n, m, seed, missing = case
-    _, instance, k = _build_case(n, m, seed, missing)
-    context = f"case n={n} m={m} k={k} seed={seed} missing={missing}"
+    matrix, instance, k = _build_case(n, m, seed, missing)
+    context = _context(n, m, k, seed, missing, matrix)
 
     rng = np.random.default_rng(seed)
     starts = {
@@ -147,3 +162,89 @@ def test_exact_oracle_matches_figure1(figure1_instance, figure1_optimum) -> None
     best, cost = exact_optimum(figure1_instance)
     assert cost == pytest.approx(figure1_instance.cost(figure1_optimum))
     assert np.array_equal(best.labels, figure1_optimum.labels)
+
+
+# ---------------------------------------------------------------------------
+# Statistical differential tests for the expected-factor algorithms.
+#
+# PIVOT's guarantee is E[cost] <= 3 * opt (Ailon-Charikar-Newman), and
+# CMSY's LP tier gives E[cost] <= 2.06 * opt; single runs can and do
+# exceed the factor, so these are checked on the *mean* over a fixed,
+# deterministic seed sequence with an explicit confidence margin.
+#
+# Per trial the statistic is s = (cost - factor * opt) / pairs, where
+# pairs = n * (n - 1) / 2 bounds both cost and opt, so s lies in
+# [-factor, 1] — a spread of (factor + 1).  Under the guarantee
+# E[s] <= 0, so by Hoeffding's inequality
+#
+#     P(mean(s) > margin) <= exp(-2 T margin^2 / spread^2)
+#
+# and margin = spread * sqrt(ln(1/delta) / (2 T)) bounds the false-alarm
+# probability of this test by delta = 1e-6 even if the algorithm only
+# *just* meets its guarantee.  With T = 216 trials the pivot margin is
+# ~0.70 normalized disagreements per pair.
+# ---------------------------------------------------------------------------
+
+_STAT_GRID = [(n, m, seed) for n in (5, 6, 7) for m in (2, 3) for seed in (0, 1, 2)]
+_TRIALS_PER_CASE = 12
+_STAT_DELTA = 1e-6
+_STAT_SEED = 1729  # fixed root: the whole trial sequence is deterministic
+
+
+@pytest.fixture(scope="module")
+def statistical_cases():
+    """The trial instances with their exact optima, solved once."""
+    cases = []
+    for n, m, seed in _STAT_GRID:
+        matrix, instance, _ = _build_case(n, m, seed, 0.0)
+        _, opt = exact_optimum(instance)
+        cases.append((matrix, instance, opt))
+    return cases
+
+
+def _hoeffding_margin(spread: float, trials: int, delta: float = _STAT_DELTA) -> float:
+    return spread * math.sqrt(math.log(1.0 / delta) / (2.0 * trials))
+
+
+def _mean_excess(statistical_cases, algorithm, factor: float) -> tuple[float, float, int]:
+    """Mean of the normalized excess statistic over the full trial grid."""
+    seeds = np.random.SeedSequence(_STAT_SEED).generate_state(
+        len(statistical_cases) * _TRIALS_PER_CASE
+    )
+    stats = []
+    index = 0
+    for matrix, instance, opt in statistical_cases:
+        pairs = instance.n * (instance.n - 1) / 2.0
+        for _ in range(_TRIALS_PER_CASE):
+            clustering = algorithm(matrix, rng=int(seeds[index]))
+            index += 1
+            cost = instance.cost(clustering)
+            assert cost >= opt - _EPS, (
+                f"cost {cost} below the exact optimum {opt} on "
+                f"matrix={matrix.tolist()} — objective bug, not bad luck"
+            )
+            stats.append((cost - factor * opt) / pairs)
+    trials = len(stats)
+    return float(np.mean(stats)), _hoeffding_margin(factor + 1.0, trials), trials
+
+
+def test_pivot_is_an_expected_3_approximation(statistical_cases) -> None:
+    mean, margin, trials = _mean_excess(statistical_cases, pivot, factor=3.0)
+    assert trials >= 200
+    assert mean <= margin, (
+        f"mean normalized excess {mean:.4f} over {trials} trials exceeds the "
+        f"Hoeffding margin {margin:.4f} (delta={_STAT_DELTA}) — PIVOT is not "
+        f"behaving as an expected 3-approximation"
+    )
+
+
+def test_cmsy_lp_tier_is_an_expected_2_06_approximation(statistical_cases) -> None:
+    pytest.importorskip("scipy")  # the LP tier is what carries the 2.06 factor
+    assert all(instance.n <= DEFAULT_LP_THRESHOLD for _, instance, _ in statistical_cases)
+    mean, margin, trials = _mean_excess(statistical_cases, cmsy, factor=2.06)
+    assert trials >= 200
+    assert mean <= margin, (
+        f"mean normalized excess {mean:.4f} over {trials} trials exceeds the "
+        f"Hoeffding margin {margin:.4f} (delta={_STAT_DELTA}) — CMSY's LP "
+        f"rounding is not behaving as an expected 2.06-approximation"
+    )

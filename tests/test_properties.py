@@ -14,8 +14,10 @@ from hypothesis import strategies as st
 
 from repro import Clustering, aggregate, clustering_distance
 from repro.core import CorrelationInstance, total_disagreement
-from repro.core.labels import MISSING, as_label_matrix
+from repro.core.labels import as_label_matrix
 from repro.algorithms import exact_optimum
+
+from strategies import grid_matrix as build
 
 # A compact strategy for full aggregation problems.
 problems = st.tuples(
@@ -24,15 +26,6 @@ problems = st.tuples(
     st.integers(1, 4),  # max labels per clustering
     st.integers(0, 10_000),  # seed
 )
-
-
-def build(n, m, k, seed, missing_rate=0.0):
-    rng = np.random.default_rng(seed)
-    matrix = rng.integers(0, k, size=(n, m)).astype(np.int32)
-    if missing_rate:
-        matrix[rng.random((n, m)) < missing_rate] = MISSING
-        matrix[0] = 0
-    return matrix
 
 
 METHODS = ("best", "balls", "agglomerative", "furthest", "local-search")
@@ -199,7 +192,9 @@ class TestMetamorphicRelations:
         instance_a = CorrelationInstance.from_label_matrix(matrix)
         instance_b = CorrelationInstance.from_label_matrix(permuted)
         assert np.array_equal(instance_a.X, instance_b.X)
-        for method in ("local-search", "sampling"):
+        # pivot/cmsy run label-matrix-direct (no instance): the renamed
+        # labels must produce bitwise-identical pair rows there too.
+        for method in ("local-search", "sampling", "pivot", "cmsy"):
             a = aggregate(matrix, method=method, rng=7, compute_lower_bound=False)
             b = aggregate(permuted, method=method, rng=7, compute_lower_bound=False)
             assert a.clustering == b.clustering, method
@@ -219,6 +214,14 @@ class TestMetamorphicRelations:
         for method in ("balls", "agglomerative", "furthest", "local-search"):
             a = aggregate(matrix, method=method, compute_lower_bound=False)
             b = aggregate(doubled, method=method, compute_lower_bound=False)
+            assert a.clustering == b.clustering, method
+            assert b.disagreements == pytest.approx(2.0 * a.disagreements), method
+        # The stochastic label-path methods see the same disagreement
+        # *fractions* bitwise (2c / 2m rounds exactly like c / m), so a
+        # fixed seed must survive the duplication too.
+        for method in ("pivot", "cmsy"):
+            a = aggregate(matrix, method=method, rng=7, compute_lower_bound=False)
+            b = aggregate(doubled, method=method, rng=7, compute_lower_bound=False)
             assert a.clustering == b.clustering, method
             assert b.disagreements == pytest.approx(2.0 * a.disagreements), method
 

@@ -128,6 +128,24 @@ def test_rpr002_scoped_to_hot_packages() -> None:
     assert codes(PAIR_LOOP, path="src/repro/datasets/snippet.py") == []
 
 
+def test_rpr002_covers_the_algorithms_package() -> None:
+    # The pivot module lives under algorithms/ and must stay inside the
+    # pair-loop rule's scope — a sweep rewritten as a Python double loop
+    # would silently lose the near-linear guarantee otherwise.
+    assert codes(PAIR_LOOP, path=ALGOS) == ["RPR002"]
+    assert codes(PAIR_LOOP, path="src/repro/algorithms/pivot.py") == ["RPR002"]
+
+
+def test_pivot_module_is_lint_clean() -> None:
+    """``src/repro/algorithms/pivot.py`` passes every repolint rule."""
+    from pathlib import Path
+
+    module = Path(__file__).resolve().parents[1] / "src/repro/algorithms/pivot.py"
+    findings, checked = lint_paths([module])
+    assert checked == 1
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
 # ---------------------------------------------------------------------------
 # RPR003: allocations need an explicit dtype in kernel modules
 # ---------------------------------------------------------------------------

@@ -34,29 +34,7 @@ from repro.shard import (
     shard_aggregate,
 )
 
-from conftest import planted_instance
-
-
-def far_atoms_problem():
-    """Five atoms, mutually >1/2 apart, duplicated into 14 contiguous rows.
-
-    Distinct atoms disagree in at least 5 of 6 columns (distance >= 5/6),
-    so in-shard AGGLOMERATIVE merges exactly the duplicate groups and
-    nothing else; the multiplicities put the 2-shard contiguous boundary
-    (7 | 7) on a group edge, so sharding loses no information at all.
-    """
-    base = np.array(
-        [
-            [0, 0, 0, 0, 0, 0],
-            [1, 1, 1, 1, 0, 1],
-            [2, 2, 2, 2, 1, 0],
-            [3, 3, 3, 3, 1, 1],
-            [4, 4, 4, 4, 2, 0],
-        ],
-        dtype=np.int32,
-    )
-    copies = np.array([3, 2, 2, 3, 4])
-    return np.repeat(base, copies, axis=0), base, copies
+from strategies import far_atoms_problem, planted_instance
 
 
 class TestPartition:
