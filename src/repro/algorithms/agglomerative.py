@@ -31,10 +31,12 @@ from ..core.instance import CorrelationInstance
 from ..core.partition import Clustering
 from ..obs.metrics import inc
 from ..obs.profile import phase
+from ..registry import register_method
 
 __all__ = ["agglomerative"]
 
 
+@register_method("agglomerative", kind="instance", supports_weights=True)
 def agglomerative(
     instance: CorrelationInstance,
     threshold: float = 0.5,

@@ -22,11 +22,13 @@ import numpy as np
 from ..core.instance import CorrelationInstance
 from ..core.objective import MoveEvaluator
 from ..core.partition import Clustering
+from ..registry import register_method
 from .local_search import local_search
 
 __all__ = ["simulated_annealing"]
 
 
+@register_method("annealing", kind="instance", stochastic=True, supports_weights=True)
 def simulated_annealing(
     instance: CorrelationInstance,
     initial: Clustering | None = None,

@@ -23,6 +23,7 @@ from ..core.instance import CorrelationInstance
 from ..core.partition import Clustering
 from ..obs.metrics import inc
 from ..obs.profile import phase
+from ..registry import register_method
 
 __all__ = ["balls", "THEORY_ALPHA", "PRACTICAL_ALPHA"]
 
@@ -32,6 +33,7 @@ THEORY_ALPHA = 0.25
 PRACTICAL_ALPHA = 0.4
 
 
+@register_method("balls", kind="instance", supports_weights=True)
 def balls(
     instance: CorrelationInstance,
     alpha: float = THEORY_ALPHA,

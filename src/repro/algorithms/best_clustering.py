@@ -26,6 +26,7 @@ import numpy as np
 from ..core.distance import total_disagreement
 from ..core.labels import MISSING, validate_label_matrix
 from ..core.partition import Clustering
+from ..registry import SolveContext, register_method
 
 __all__ = ["best_clustering", "column_as_candidate"]
 
@@ -47,6 +48,14 @@ def column_as_candidate(column: np.ndarray, missing: str = "own-cluster") -> Clu
     return Clustering(filled)
 
 
+def _solve_best(ctx: SolveContext) -> Clustering:
+    matrix = ctx.require_matrix("best")
+    return best_clustering(matrix, p=ctx.p, **ctx.params)
+
+
+@register_method(
+    "best", kind="matrix", supports_collapse=False, exclude=("p",), solver=_solve_best
+)
 def best_clustering(
     matrix: np.ndarray, p: float = 0.5, missing: str = "own-cluster"
 ) -> Clustering:

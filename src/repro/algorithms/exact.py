@@ -30,8 +30,11 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from typing import Any
+
 from ..core.instance import CorrelationInstance
 from ..core.partition import Clustering
+from ..registry import register_method
 from .agglomerative import agglomerative
 from .local_search import local_search
 
@@ -133,3 +136,15 @@ def exact_optimum(
         return Clustering.single_cluster(1), 0.0
     search(1, 1, 0.0)
     return Clustering(best_labels), float(best_cost)
+
+
+@register_method(
+    "exact",
+    kind="instance",
+    supports_weights=True,
+    params_from=exact_optimum,
+    summary="The optimal clustering by branch-and-bound (ground truth for small n).",
+)
+def _exact_consensus(instance: CorrelationInstance, **params: Any) -> Clustering:
+    """Registry adapter: the clustering half of :func:`exact_optimum`."""
+    return exact_optimum(instance, **params)[0]

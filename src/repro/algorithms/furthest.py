@@ -20,10 +20,12 @@ from ..core.instance import CorrelationInstance
 from ..core.partition import Clustering
 from ..obs.metrics import inc
 from ..obs.profile import phase
+from ..registry import register_method
 
 __all__ = ["furthest"]
 
 
+@register_method("furthest", kind="instance", supports_weights=True)
 def furthest(
     instance: CorrelationInstance,
     max_k: int | None = None,

@@ -26,6 +26,7 @@ from ..core.objective import MoveEvaluator
 from ..core.partition import Clustering
 from ..obs.metrics import inc
 from ..obs.profile import phase
+from ..registry import register_method
 
 __all__ = ["local_search", "refine", "LocalSearchDetails"]
 
@@ -90,6 +91,10 @@ def refine(
     return details
 
 
+@register_method(
+    "local-search", kind="instance", stochastic=True, supports_weights=True,
+    exclude=("return_details",),
+)
 def local_search(
     instance: CorrelationInstance,
     initial: Clustering | None = None,

@@ -51,6 +51,7 @@ from ..core.labels import validate_label_matrix
 from ..core.partition import Clustering
 from ..obs.metrics import inc
 from ..obs.profile import phase
+from ..registry import register_method
 
 __all__ = [
     "pivot",
@@ -234,6 +235,10 @@ def _rounded_sweep(
     return labels, next_label
 
 
+@register_method(
+    "pivot", kind="label-fast", stochastic=True, supports_weights=True,
+    exclude=("p", "weights"),
+)
 def pivot(
     data: np.ndarray | CorrelationInstance,
     p: float = 0.5,
@@ -367,6 +372,10 @@ def _lp_fractional(X: np.ndarray, weights: np.ndarray | None) -> np.ndarray | No
     return fractional
 
 
+@register_method(
+    "cmsy", kind="label-fast", stochastic=True, supports_weights=True,
+    exclude=("p", "weights"),
+)
 def cmsy(
     data: np.ndarray | CorrelationInstance,
     p: float = 0.5,

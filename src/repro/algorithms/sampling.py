@@ -34,6 +34,7 @@ from ..core.objective import ClusterCountTables
 from ..core.partition import Clustering
 from ..obs.metrics import inc
 from ..obs.trace import span
+from ..registry import SolveContext, register_method, resolve_instance_method
 
 __all__ = ["sampling", "SamplingDetails", "default_sample_size"]
 
@@ -73,6 +74,43 @@ def default_sample_size(n: int) -> int:
     return int(min(n, max(200, round(65 * np.log2(n)))))
 
 
+def _solve_sampling(ctx: SolveContext) -> Clustering:
+    # Relocated verbatim from aggregate()'s old "sampling" branch: the
+    # ``inner`` pop and the atom-clamped ``sample_size`` mutate ctx.params
+    # in place, exactly as the dispatch layer always has.
+    params = ctx.params
+    inner = resolve_instance_method(params.pop("inner", "agglomerative"))
+    if ctx.atoms is not None:
+        if params.get("sample_size") is not None:
+            # The caller sized the sample against the original n;
+            # collapsing may leave fewer atoms than that, which
+            # simply means "sample every atom".
+            params["sample_size"] = min(int(params["sample_size"]), ctx.atoms.n_atoms)
+        return ctx.atoms.expand(
+            sampling(
+                ctx.atoms.matrix,
+                inner,
+                p=ctx.p,
+                weights=ctx.atoms.weights.astype(np.float64),
+                n_jobs=ctx.n_jobs,
+                **params,
+            )
+        )
+    data = ctx.matrix if ctx.matrix is not None else ctx.instance
+    if data is None:  # unreachable: inputs is always one of the three forms
+        raise ValueError("method 'sampling' needs clusterings or an instance")
+    return sampling(data, inner, p=ctx.p, n_jobs=ctx.n_jobs, **params)
+
+
+@register_method(
+    "sampling",
+    kind="matrix",
+    stochastic=True,
+    supports_weights=True,
+    exclude=("p", "weights", "n_jobs", "return_details"),
+    defaults={"inner": "agglomerative"},
+    solver=_solve_sampling,
+)
 def sampling(
     data: np.ndarray | CorrelationInstance,
     inner: InnerAlgorithm,

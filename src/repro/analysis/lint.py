@@ -53,6 +53,14 @@ RPR009   No blocking calls directly inside ``async def`` bodies under
          (``np.load``/``np.save``/...), and worker-pool construction or
          ``pool().map``-style fan-out all stall the event loop — await
          ``loop.run_in_executor(...)`` (or ``asyncio.sleep``) instead.
+RPR014   No hand-rolled method-dispatch tables in library code outside
+         ``repro/registry/``: a module/class-level dict literal mapping
+         ≥2 method-name strings to callables under a ``*METHOD*`` /
+         ``*DISPATCH*`` / ``*SOLVER*`` name, or an if/elif chain
+         comparing a ``method``-like variable against ≥3 string
+         literals, re-creates exactly the divergent tables the registry
+         refactor removed — register a :class:`repro.registry.MethodSpec`
+         and resolve through :func:`repro.registry.get_method` instead.
 =======  ==============================================================
 
 Suppressions
@@ -104,6 +112,7 @@ RULES: dict[str, str] = {
     "RPR007": "raw time.perf_counter() outside repro.obs; wrap the code in a repro.obs span",
     "RPR008": "direct .X/._X pair-matrix access outside repro.core; use the backend API",
     "RPR009": "blocking call inside an async def in repro.serve; use run_in_executor/asyncio.sleep",
+    "RPR014": "hand-rolled method dispatch outside repro.registry; register a MethodSpec instead",
 }
 
 #: Subpackages of ``repro`` whose files RPR002 applies to.
@@ -125,6 +134,19 @@ MATRIX_PACKAGE = "core"
 
 #: The event-loop subpackage whose ``async def`` bodies RPR009 applies to.
 ASYNC_PACKAGE = "serve"
+
+#: The one subpackage allowed to hold method-dispatch tables (RPR014).
+REGISTRY_PACKAGE = "registry"
+
+#: Substrings (lowercased) that mark a dict name as a dispatch table (RPR014).
+_DISPATCH_NAME_HINTS = ("method", "dispatch", "solver")
+
+#: Variable-name substrings RPR014 treats as a method selector in if/elif chains.
+_METHOD_VAR_HINTS = ("method", "algorithm", "inner")
+
+#: Branches in an if/elif chain comparing a method name against string
+#: literals before RPR014 calls it a dispatch table.
+_DISPATCH_CHAIN_THRESHOLD = 3
 
 #: numpy functions that hit the filesystem (RPR009 in async bodies).
 _NP_FILE_IO = frozenset(
@@ -257,6 +279,10 @@ class _Checker(ast.NodeVisitor):
         self._function_stack: list[bool] = []
         # For loops already reported (avoid duplicate RPR002 per nest).
         self._reported_pair_loops: set[int] = set()
+        # RPR014 scope: library code outside the registry package itself.
+        self._check_method_tables = self._in_library and subpackage != REGISTRY_PACKAGE
+        # elif continuations already consumed by a reported chain (RPR014).
+        self._elif_children: set[int] = set()
 
     # -- helpers -------------------------------------------------------
 
@@ -567,10 +593,116 @@ class _Checker(ast.NodeVisitor):
     def visit_Assign(self, node: ast.Assign) -> None:
         for target in node.targets:
             self._check_labels_store(target)
+        self._check_dispatch_dict(node.targets, node.value, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_dispatch_dict([node.target], node.value, node)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self._check_labels_store(node.target)
+        self.generic_visit(node)
+
+    # -- RPR014: hand-rolled method dispatch ---------------------------
+
+    def _check_dispatch_dict(
+        self, targets: Sequence[ast.expr], value: ast.expr, node: ast.AST
+    ) -> None:
+        """Flag module/class-level ``*METHOD*`` dicts of name -> callable."""
+        if not self._check_method_tables or self._function_stack:
+            return
+        if not isinstance(value, ast.Dict):
+            return
+        named = [
+            target.id
+            for target in targets
+            if isinstance(target, ast.Name)
+            and any(hint in target.id.lower() for hint in _DISPATCH_NAME_HINTS)
+        ]
+        if not named:
+            return
+        string_keys = sum(
+            isinstance(key, ast.Constant) and isinstance(key.value, str)
+            for key in value.keys
+        )
+        callable_values = sum(
+            isinstance(item, (ast.Name, ast.Attribute, ast.Lambda))
+            for item in value.values
+        )
+        if string_keys >= 2 and callable_values >= 2:
+            self._report(
+                node,
+                "RPR014",
+                f"`{named[0]}` is a hand-rolled method-dispatch table; register the "
+                "methods with `repro.registry.register_method` and resolve them "
+                "through `repro.registry.get_method` instead",
+            )
+
+    @staticmethod
+    def _method_selector(test: ast.expr) -> str | None:
+        """The dumped selector expr when ``test`` is ``<method-ish> == "str"``.
+
+        Also matches ``<method-ish> in ("a", "b")``.  The selector counts
+        as method-ish when its terminal identifier contains ``method`` /
+        ``algorithm`` / ``inner``.
+        """
+        if not (isinstance(test, ast.Compare) and len(test.ops) == 1):
+            return None
+        if not isinstance(test.ops[0], (ast.Eq, ast.In)):
+            return None
+        comparator = test.comparators[0]
+        if isinstance(test.ops[0], ast.Eq):
+            if not (isinstance(comparator, ast.Constant) and isinstance(comparator.value, str)):
+                return None
+        else:
+            if not (
+                isinstance(comparator, (ast.Tuple, ast.List, ast.Set))
+                and comparator.elts
+                and all(
+                    isinstance(item, ast.Constant) and isinstance(item.value, str)
+                    for item in comparator.elts
+                )
+            ):
+                return None
+        left = test.left
+        terminal: str | None = None
+        if isinstance(left, ast.Name):
+            terminal = left.id
+        elif isinstance(left, ast.Attribute):
+            terminal = left.attr
+        elif isinstance(left, ast.Subscript):
+            index = left.slice
+            if isinstance(index, ast.Constant) and isinstance(index.value, str):
+                terminal = index.value
+        if terminal is None or not any(
+            hint in terminal.lower() for hint in _METHOD_VAR_HINTS
+        ):
+            return None
+        return ast.dump(left)
+
+    def visit_If(self, node: ast.If) -> None:
+        if self._check_method_tables and id(node) not in self._elif_children:
+            selectors: list[str | None] = []
+            current: ast.If | None = node
+            while current is not None:
+                selectors.append(self._method_selector(current.test))
+                if len(current.orelse) == 1 and isinstance(current.orelse[0], ast.If):
+                    current = current.orelse[0]
+                    self._elif_children.add(id(current))
+                else:
+                    current = None
+            for selector in set(filter(None, selectors)):
+                if selectors.count(selector) >= _DISPATCH_CHAIN_THRESHOLD:
+                    self._report(
+                        node,
+                        "RPR014",
+                        "if/elif chain dispatching on a method name; register the "
+                        "methods with `repro.registry.register_method` and resolve "
+                        "them through `repro.registry.get_method` instead",
+                    )
+                    break
         self.generic_visit(node)
 
     # -- RPR002: nested pair loops -------------------------------------
@@ -769,7 +901,7 @@ def lint_paths(paths: Sequence[str | Path]) -> tuple[list[Finding], int]:
 def main(argv: Iterable[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Repository-specific invariant linter (rules RPR001-RPR009).",
+        description="Repository-specific invariant linter (rules RPR001-RPR009, RPR014).",
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument("--json", action="store_true", help="emit a JSON report on stdout")

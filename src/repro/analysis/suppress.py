@@ -24,7 +24,7 @@ and adds two behaviours the raw-line scan could not offer:
   linters surface it as an ``RPR000`` finding.
 
 The known-code registry spans *both* tools (repolint's RPR001–RPR009 and
-the flow analyzer's RPR010–RPR013) so that a file carrying a flow
+RPR014, and the flow analyzer's RPR010–RPR013) so that a file carrying a flow
 suppression lints clean under repolint and vice versa.
 """
 
@@ -42,9 +42,9 @@ __all__ = [
     "extract_suppressions",
 ]
 
-#: Every valid rule code across repolint (RPR001-RPR009) and the flow
+#: Every valid rule code across repolint (RPR001-RPR009, RPR014) and the flow
 #: analyzer (RPR010-RPR013); RPR000 is the shared analysis-error channel.
-KNOWN_CODES: frozenset[str] = frozenset(f"RPR{i:03d}" for i in range(14))
+KNOWN_CODES: frozenset[str] = frozenset(f"RPR{i:03d}" for i in range(15))
 
 _DIRECTIVE = re.compile(r"#\s*repolint:\s*(disable-file|disable)\s*=\s*([^#]*)")
 

@@ -29,8 +29,14 @@ Subcommands
     machine-readable startup banner with the actually bound port.
 ``generate``
     Write one of the built-in datasets (votes, mushrooms, census) to CSV.
+``pipeline``
+    Run (or just validate) a declarative TOML pipeline config
+    (:mod:`repro.pipeline`): dataset → base clusterings → aggregation →
+    metrics, with ``--json``/``--out`` reports and ``--trace`` spans.
 ``methods``
-    List the available aggregation algorithms.
+    List the available aggregation algorithms.  ``--role`` switches to
+    the consensus baselines or base clusterers; ``--verbose`` adds each
+    method's parameter documentation, straight from the registry.
 
 ``--json`` (on ``aggregate`` and ``stream``) switches the report to a
 single machine-readable JSON object for service integration.
@@ -54,6 +60,8 @@ Examples
     repro-aggregate shard big.csv --shards 4 --jobs 4 --seed 7 --json
     repro-aggregate stream /tmp/votes.csv --decay 0.99 --checkpoint /tmp/engine.npz
     repro-aggregate aggregate /tmp/votes.csv --method local-search --seed 7 --json
+    repro-aggregate pipeline run examples/fig3_robustness.toml --trace
+    repro-aggregate methods --role clusterer --verbose
 """
 
 from __future__ import annotations
@@ -358,7 +366,49 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--rows", type=int, default=None, help="override the dataset size")
     gen.add_argument("--seed", type=int, default=0)
 
-    subparsers.add_parser("methods", help="list available aggregation algorithms")
+    pipe = subparsers.add_parser(
+        "pipeline", help="run or validate a declarative TOML pipeline config"
+    )
+    pipe_sub = pipe.add_subparsers(dest="pipeline_command", required=True)
+    pipe_run = pipe_sub.add_parser(
+        "run", help="execute a pipeline config end-to-end and print its report"
+    )
+    pipe_run.add_argument("config", help="path to the TOML pipeline config")
+    pipe_run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker count for the aggregation stage (default: REPRO_JOBS)",
+    )
+    pipe_run.add_argument(
+        "--json", action="store_true", help="print the full report as one JSON object"
+    )
+    pipe_run.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON report to PATH",
+    )
+    _add_observability_arguments(pipe_run)
+    pipe_validate = pipe_sub.add_parser(
+        "validate", help="check a pipeline config without running it"
+    )
+    pipe_validate.add_argument("config", help="path to the TOML pipeline config")
+
+    methods = subparsers.add_parser(
+        "methods", help="list available aggregation algorithms"
+    )
+    methods.add_argument(
+        "--role",
+        choices=("aggregate", "baseline", "clusterer"),
+        default="aggregate",
+        help="which registry role to list (default: aggregation algorithms)",
+    )
+    methods.add_argument(
+        "--verbose",
+        action="store_true",
+        help="include each method's parameters and documentation",
+    )
     return parser
 
 
@@ -717,6 +767,57 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_pipeline(args: argparse.Namespace) -> int:
+    from .pipeline import PipelineConfigError, PipelineError, load_config, run_pipeline
+
+    try:
+        config = load_config(args.config)
+    except PipelineConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.pipeline_command == "validate":
+        jobs = sum(len(stage.expand()) for stage in config.bases)
+        print(
+            f"ok               {config.source_path or args.config}\n"
+            f"pipeline         {config.name}\n"
+            f"dataset          {config.dataset.source}\n"
+            f"base jobs        {jobs}\n"
+            f"method           {config.aggregate.method}\n"
+            f"metrics          {', '.join(config.metrics)}"
+        )
+        return 0
+
+    try:
+        result = run_pipeline(config, n_jobs=args.jobs)
+    except PipelineError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = result.to_dict()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(report))
+    else:
+        print(result.render())
+        if args.out:
+            print(f"report written   {args.out}")
+    return 0
+
+
+def _command_methods(args: argparse.Namespace) -> int:
+    from .registry import all_specs
+
+    for spec in all_specs(role=args.role):
+        if args.verbose:
+            print(spec.describe())
+            print()
+        else:
+            print(spec.name)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -732,10 +833,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_serve(args)
     if args.command == "generate":
         return _command_generate(args)
+    if args.command == "pipeline":
+        if args.pipeline_command == "run":
+            return _run_observed(args, _command_pipeline)
+        return _command_pipeline(args)
     if args.command == "methods":
-        for name in available_methods():
-            print(name)
-        return 0
+        return _command_methods(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

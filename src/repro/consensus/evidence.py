@@ -23,11 +23,13 @@ import numpy as np
 from ..cluster.linkage import linkage
 from ..core.labels import validate_label_matrix
 from ..core.partition import Clustering
+from ..registry import register_method
 from .coassociation import coassociation_matrix
 
 __all__ = ["evidence_accumulation"]
 
 
+@register_method("evidence", role="baseline", kind="matrix", exclude=("p",))
 def evidence_accumulation(
     matrix: np.ndarray,
     k: int | None = None,

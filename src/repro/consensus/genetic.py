@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core.instance import CorrelationInstance
 from ..core.partition import Clustering
+from ..registry import register_method
 
 __all__ = ["genetic_consensus"]
 
@@ -65,6 +66,7 @@ def _mutate(labels: np.ndarray, rate: float, rng: np.random.Generator) -> np.nda
     return mutated
 
 
+@register_method("genetic", kind="instance", stochastic=True, supports_weights=True)
 def genetic_consensus(
     instance: CorrelationInstance,
     population_size: int = 30,

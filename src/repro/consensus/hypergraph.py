@@ -30,11 +30,13 @@ import numpy as np
 from ..cluster.linkage import linkage
 from ..core.labels import MISSING, validate_label_matrix
 from ..core.partition import Clustering
+from ..registry import register_method
 from .coassociation import coassociation_matrix
 
 __all__ = ["cspa", "mcla"]
 
 
+@register_method("cspa", role="baseline", kind="matrix", exclude=("p",))
 def cspa(matrix: np.ndarray, k: int, p: float = 0.5) -> Clustering:
     """Cluster-based similarity partitioning: cut the co-association graph at ``k``."""
     validate_label_matrix(matrix)
@@ -58,6 +60,7 @@ def _cluster_indicators(matrix: np.ndarray) -> np.ndarray:
     return np.array(indicators)
 
 
+@register_method("mcla", role="baseline", kind="matrix", stochastic=True)
 def mcla(matrix: np.ndarray, k: int, rng: np.random.Generator | int | None = 0) -> Clustering:
     """Meta-clustering: group input clusters, then vote objects into groups.
 

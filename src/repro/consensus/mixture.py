@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core.labels import MISSING, validate_label_matrix
 from ..core.partition import Clustering
+from ..registry import register_method
 
 __all__ = ["MixtureResult", "mixture_consensus", "mixture_consensus_bic"]
 
@@ -62,6 +63,7 @@ def _one_hot_columns(matrix: np.ndarray) -> tuple[list[np.ndarray], list[int]]:
     return encodings, arities
 
 
+@register_method("mixture", role="baseline", kind="matrix", stochastic=True)
 def mixture_consensus(
     matrix: np.ndarray,
     k: int,

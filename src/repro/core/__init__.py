@@ -1,6 +1,8 @@
 """Core framework: partitions, distances, correlation instances, aggregation API."""
 
-from .aggregate import STOCHASTIC_METHODS, AggregationResult, aggregate, available_methods
+from typing import Any
+
+from .aggregate import AggregationResult, aggregate, available_methods
 from .atoms import AtomCollapse, collapse_duplicates
 from .backend import (
     DenseBackend,
@@ -41,3 +43,16 @@ __all__ = [
     "MoveEvaluator",
     "Clustering",
 ]
+
+
+def __getattr__(name: str) -> Any:
+    # Lazily forwarded: STOCHASTIC_METHODS is computed from the method
+    # registry, whose built-in modules must not load while this package
+    # is still initializing (see repro.registry.store).
+    if name == "STOCHASTIC_METHODS":
+        # NB: `from . import aggregate` would resolve to the eagerly
+        # imported aggregate() *function*, not the submodule.
+        from .aggregate import STOCHASTIC_METHODS as methods
+
+        return methods
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

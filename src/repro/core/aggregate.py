@@ -28,17 +28,10 @@ from typing import Any, Callable
 
 import numpy as np
 
-from ..algorithms.agglomerative import agglomerative
-from ..algorithms.annealing import simulated_annealing
-from ..algorithms.balls import balls
-from ..algorithms.best_clustering import best_clustering
-from ..algorithms.exact import exact_optimum
-from ..algorithms.furthest import furthest
-from ..algorithms.local_search import local_search
-from ..algorithms.pivot import cmsy, pivot
-from ..algorithms.sampling import sampling
-from ..consensus.genetic import genetic_consensus
 from ..obs.trace import span
+from ..registry import SolveContext, aggregate_method_names, get_method
+from ..registry import resolve_instance_method as _resolve_instance_method
+from ..registry import stochastic_method_names
 from .distance import total_disagreement
 from .instance import CorrelationInstance
 from .labels import as_label_matrix, validate_label_matrix
@@ -52,56 +45,32 @@ __all__ = [
     "STOCHASTIC_METHODS",
 ]
 
-#: Algorithms that consume a CorrelationInstance and return a Clustering.
-_INSTANCE_METHODS: dict[str, Callable[..., Clustering]] = {
-    "balls": balls,
-    "agglomerative": agglomerative,
-    "furthest": furthest,
-    "local-search": local_search,
-    "annealing": simulated_annealing,
-    "genetic": genetic_consensus,
-    "pivot": pivot,
-    "cmsy": cmsy,
-    "exact": lambda instance, **kw: exact_optimum(instance, **kw)[0],
-}
-
-#: Instance methods that also accept the raw ``(n, m)`` label matrix and
-#: prefer it: :func:`aggregate` skips the instance build for these, so no
-#: ``(n, n)`` structure — dense or lazy — is ever created on their path.
-_LABEL_FAST_METHODS = ("cmsy", "pivot")
-
-#: Algorithms that consume the label matrix directly (or, for
-#: ``"portfolio"``, dispatch a set of instance methods themselves).
-_MATRIX_METHODS = ("best", "portfolio", "sampling", "sharded", "streaming")
-
-#: Methods whose output depends on an ``rng`` seed (CLI ``--seed`` plumbing).
-STOCHASTIC_METHODS = (
-    "annealing",
-    "cmsy",
-    "genetic",
-    "local-search",
-    "pivot",
-    "portfolio",
-    "sampling",
-    "sharded",
-    "streaming",
-)
-
 
 def available_methods() -> tuple[str, ...]:
-    """Names accepted by :func:`aggregate`'s ``method`` parameter."""
-    return tuple(sorted((*_INSTANCE_METHODS, *_MATRIX_METHODS)))
+    """Names accepted by :func:`aggregate`'s ``method`` parameter.
+
+    Derived from :mod:`repro.registry` — the CLI, the serve schema
+    validation, and the error messages below all read the same source,
+    so a new registration can never drift out of any of them.
+    """
+    return aggregate_method_names()
 
 
 def resolve_inner(inner: str | Callable[..., Clustering]) -> Callable[[CorrelationInstance], Clustering]:
-    """Resolve SAMPLING's inner algorithm from a name or callable."""
-    if callable(inner):
-        return inner
-    if inner in _INSTANCE_METHODS:
-        return _INSTANCE_METHODS[inner]
-    raise ValueError(
-        f"unknown inner algorithm {inner!r}; choose from {sorted(_INSTANCE_METHODS)}"
-    )
+    """Resolve SAMPLING's inner algorithm from a name or callable.
+
+    Back-compat alias for :func:`repro.registry.resolve_instance_method`.
+    """
+    return _resolve_instance_method(inner)
+
+
+def __getattr__(name: str) -> Any:
+    # STOCHASTIC_METHODS is derived from the registry, which loads its
+    # built-in modules lazily; computing it at import time would recurse
+    # into this package mid-initialization, so it is a PEP 562 attribute.
+    if name == "STOCHASTIC_METHODS":
+        return stochastic_method_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -223,6 +192,9 @@ def aggregate(
         ``inner="furthest"`` and ``sample_size=1000`` for SAMPLING,
         ``initial=...`` for LOCALSEARCH).
     """
+    spec = get_method(method)  # raises the canonical "unknown method" ValueError
+    spec.validate_params(params)
+
     matrix: np.ndarray | None = None
     instance: CorrelationInstance | None = None
     label_matrix_method = getattr(inputs, "label_matrix", None)
@@ -241,7 +213,7 @@ def aggregate(
     atoms = None
     with span("aggregate.build", method=method) as build_span:
         if collapse:
-            if matrix is None or method in ("best", "streaming"):
+            if matrix is None or not spec.supports_collapse:
                 raise ValueError(
                     "collapse=True needs a label matrix and is not meaningful for "
                     f"method {method!r}"
@@ -250,11 +222,7 @@ def aggregate(
 
             atoms = collapse_duplicates(matrix)
             build_span.set(atoms=atoms.n_atoms, objects=atoms.n_objects)
-        if (
-            instance is None
-            and method not in _LABEL_FAST_METHODS
-            and (method in _INSTANCE_METHODS or method == "portfolio")
-        ):
+        if instance is None and (spec.kind == "instance" or spec.needs_instance):
             if atoms is not None:
                 instance = CorrelationInstance.from_label_matrix(
                     atoms.matrix, p=p, weights=atoms.weights, n_jobs=n_jobs, backend=backend
@@ -266,96 +234,41 @@ def aggregate(
     build_seconds = build_span.seconds
 
     with span("aggregate.solve", method=method) as solve_span:
-        if method in _LABEL_FAST_METHODS and instance is None:
+        if spec.kind == "label-fast" and instance is None:
             # Backend-free fast path: pivot/cmsy consume the label matrix
             # directly, so nothing quadratic in n is ever allocated.
-            algorithm = _INSTANCE_METHODS[method]
             if atoms is not None:
                 clustering = atoms.expand(
-                    algorithm(
+                    spec.func(
                         atoms.matrix, p=p, weights=atoms.weights.astype(np.float64), **params
                     )
                 )
             else:
-                clustering = algorithm(matrix, p=p, **params)
-        elif method in _INSTANCE_METHODS:
+                clustering = spec.func(matrix, p=p, **params)
+        elif spec.kind in ("instance", "label-fast"):
             if instance is None:
                 raise ValueError(f"method {method!r} requires a distance matrix")
-            clustering = _INSTANCE_METHODS[method](instance, **params)
+            clustering = spec.func(instance, **params)
             if atoms is not None:
                 clustering = atoms.expand(clustering)
-        elif method == "best":
-            if matrix is None:
-                raise ValueError("method 'best' needs the input clusterings, not a raw instance")
-            clustering = best_clustering(matrix, p=p, **params)
-        elif method == "portfolio":
-            from ..parallel.portfolio import portfolio
-
-            portfolio_result = portfolio(instance, n_jobs=n_jobs, **params)
-            clustering = portfolio_result.best
-            if atoms is not None:
-                clustering = atoms.expand(clustering)
-            params["portfolio"] = portfolio_result.to_dict()
-        elif method == "sampling":
-            inner = resolve_inner(params.pop("inner", "agglomerative"))
-            if atoms is not None:
-                if params.get("sample_size") is not None:
-                    # The caller sized the sample against the original n;
-                    # collapsing may leave fewer atoms than that, which
-                    # simply means "sample every atom".
-                    params["sample_size"] = min(
-                        int(params["sample_size"]), atoms.n_atoms
-                    )
-                clustering = atoms.expand(
-                    sampling(
-                        atoms.matrix,
-                        inner,
-                        p=p,
-                        weights=atoms.weights.astype(np.float64),
-                        n_jobs=n_jobs,
-                        **params,
-                    )
-                )
-            else:
-                data = matrix if matrix is not None else instance
-                if data is None:  # unreachable: inputs is always one of the three forms
-                    raise ValueError("method 'sampling' needs clusterings or an instance")
-                clustering = sampling(data, inner, p=p, n_jobs=n_jobs, **params)
-        elif method == "sharded":
-            if matrix is None:
-                raise ValueError(
-                    "method 'sharded' needs the input clusterings, not a raw instance"
-                )
-            from ..shard.engine import shard_aggregate
-
-            if atoms is not None:
-                shard_result = shard_aggregate(
-                    atoms.matrix,
-                    p=p,
-                    weights=atoms.weights.astype(np.float64),
-                    n_jobs=n_jobs,
-                    backend=backend,
-                    **params,
-                )
-                clustering = atoms.expand(shard_result.clustering)
-            else:
-                shard_result = shard_aggregate(
-                    matrix, p=p, n_jobs=n_jobs, backend=backend, **params
-                )
-                clustering = shard_result.clustering
-            params["shard"] = shard_result.to_dict()
-        elif method == "streaming":
-            if matrix is None:
-                raise ValueError(
-                    "method 'streaming' needs the input clusterings, not a raw instance"
-                )
-            from ..stream.engine import StreamingAggregator
-
-            engine = StreamingAggregator(matrix.shape[0], p=p, **params)
-            engine.observe_many(matrix)
-            clustering = engine.consensus
         else:
-            raise ValueError(f"unknown method {method!r}; choose from {available_methods()}")
+            # Matrix-kind methods own their whole solve through the solver
+            # adapter registered next to the algorithm (sampling, best,
+            # portfolio, sharded, streaming).  The adapter may write report
+            # entries (e.g. params["shard"]) back into the shared dict.
+            solver = spec.solver
+            if solver is None:
+                raise ValueError(f"method {method!r} has no registered solver")
+            context = SolveContext(
+                matrix=matrix,
+                instance=instance,
+                atoms=atoms,
+                p=p,
+                n_jobs=n_jobs,
+                backend=backend,
+                params=params,
+            )
+            clustering = solver(context)
         solve_span.set(k=clustering.k)
     elapsed = solve_span.seconds
 

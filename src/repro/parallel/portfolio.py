@@ -24,13 +24,18 @@ from typing import Any
 
 import numpy as np
 
-from ..core.aggregate import STOCHASTIC_METHODS, resolve_inner
 from ..core.instance import CorrelationInstance
 from ..core.labels import as_label_matrix
 from ..core.partition import Clustering
 from ..obs.metrics import inc, observe, set_gauge
 from ..obs.profile import export_spans, merge_spans, worker_tracing
 from ..obs.trace import span
+from ..registry import (
+    SolveContext,
+    is_stochastic,
+    register_method,
+    resolve_instance_method,
+)
 from .build import attach_instance, pool, share_instance
 from .shm import resolve_jobs
 
@@ -114,7 +119,7 @@ def _method_specs(
     if unknown:
         raise ValueError(f"params given for methods not in the portfolio: {sorted(unknown)}")
     for name in methods:
-        resolve_inner(name)  # raises on non-instance methods ("best", "sampling", ...)
+        resolve_instance_method(name)  # raises on non-instance methods ("best", ...)
     # One independent child generator per *position* (not per name), spawned
     # before any execution — the seeds cannot depend on scheduling order.
     if isinstance(rng, np.random.Generator):
@@ -124,7 +129,7 @@ def _method_specs(
             np.random.default_rng(s) for s in np.random.SeedSequence(rng).spawn(len(methods))
         ]
     return [
-        (name, dict(params.get(name, {})), children[i] if name in STOCHASTIC_METHODS else None)
+        (name, dict(params.get(name, {})), children[i] if is_stochastic(name) else None)
         for i, name in enumerate(methods)
     ]
 
@@ -135,7 +140,7 @@ def _execute(
 ) -> tuple[np.ndarray, float, int, float]:
     """Run one portfolio member; shared by the serial and worker paths."""
     name, kwargs, child_rng = spec
-    algorithm = resolve_inner(name)
+    algorithm = resolve_instance_method(name)
     if child_rng is not None:
         kwargs = {"rng": child_rng, **kwargs}
     with span(f"member:{name}", method=name) as member_span:
@@ -169,6 +174,27 @@ def _run_portfolio_member(
     return (index, labels, cost, k, elapsed, export_spans(trace))
 
 
+def _solve_portfolio(ctx: SolveContext) -> Clustering:
+    # Relocated verbatim from aggregate()'s old "portfolio" branch: the
+    # instance is always prebuilt (the spec declares needs_instance), and
+    # the per-member records land in ctx.params["portfolio"].
+    result = portfolio(ctx.instance, n_jobs=ctx.n_jobs, **ctx.params)
+    clustering = result.best
+    if ctx.atoms is not None:
+        clustering = ctx.atoms.expand(clustering)
+    ctx.params["portfolio"] = result.to_dict()
+    return clustering
+
+
+@register_method(
+    "portfolio",
+    kind="matrix",
+    stochastic=True,
+    supports_weights=True,
+    needs_instance=True,
+    exclude=("p", "n_jobs", "backend"),
+    solver=_solve_portfolio,
+)
 def portfolio(
     inputs: Sequence[Clustering] | np.ndarray | CorrelationInstance,
     methods: Sequence[str] = DEFAULT_PORTFOLIO,
@@ -189,7 +215,7 @@ def portfolio(
         portfolio member sees the same shared, read-only ``X``.
     methods:
         Instance-consuming algorithm names (see
-        :func:`repro.core.aggregate.resolve_inner`); matrix-level methods
+        :func:`repro.registry.resolve_instance_method`); matrix-level methods
         like ``"sampling"`` or ``"best"`` are rejected.  A method may be
         listed more than once — each position draws its own child
         generator, so repeated stochastic entries act as independent

@@ -1,0 +1,35 @@
+"""Declarative consensus pipelines: TOML config → dataset → bases → consensus.
+
+The pipeline layer turns the shape of every experiment in the paper into
+one reusable runner: :func:`load_config` validates a TOML file against
+the method registry, :func:`run_pipeline` executes it (dataset
+materialization, base-clustering generation with parameter sweeps /
+feature subsampling / missing-label injection, aggregation, scoring) and
+returns a :class:`PipelineResult` report.  ``repro pipeline run
+config.toml`` is the CLI front door.
+"""
+
+from .config import (
+    AggregateStage,
+    BaseStage,
+    DatasetConfig,
+    PipelineConfig,
+    PipelineConfigError,
+    load_config,
+    parse_config,
+)
+from .runner import BaseRun, PipelineError, PipelineResult, run_pipeline
+
+__all__ = [
+    "AggregateStage",
+    "BaseRun",
+    "BaseStage",
+    "DatasetConfig",
+    "PipelineConfig",
+    "PipelineConfigError",
+    "PipelineError",
+    "PipelineResult",
+    "load_config",
+    "parse_config",
+    "run_pipeline",
+]

@@ -1,0 +1,386 @@
+"""Declarative pipeline configs: TOML schema, parsing, validation.
+
+A pipeline config describes one end-to-end consensus experiment — the
+shape of every table and figure in the paper:
+
+.. code-block:: toml
+
+    [pipeline]
+    name = "fig3-robustness"
+    seed = 0
+
+    [dataset]
+    source = "seven-groups"          # or gaussian / votes / ... / csv
+
+    [[base]]                         # repeated: one entry per clusterer
+    clusterer = "linkage"
+    params = { k = 7 }
+    sweep = { method = ["single", "complete", "average", "ward"] }
+
+    [[base]]
+    clusterer = "kmeans"
+    params = { k = 7 }
+
+    [aggregate]
+    method = "agglomerative"
+
+    [score]
+    metrics = ["ari", "classification-error"]
+
+Every name in the config — clusterers, the aggregation method, metric
+names — is validated against :mod:`repro.registry` at load time, so a
+typo fails immediately with the accepted alternatives spelled out instead
+of surfacing as a stack trace mid-run.  Categorical datasets may omit
+``[[base]]`` entirely: their attribute columns *are* the base clusterings
+(the paper's §2 mapping).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..registry import MethodSpec, get_method
+
+__all__ = [
+    "AggregateStage",
+    "BaseStage",
+    "DatasetConfig",
+    "PipelineConfig",
+    "PipelineConfigError",
+    "load_config",
+    "parse_config",
+]
+
+#: Dataset sources the runner knows how to materialize.
+DATASET_SOURCES = (
+    "census",
+    "csv",
+    "gaussian",
+    "movies",
+    "mushrooms",
+    "seven-groups",
+    "votes",
+)
+
+#: Sources that yield 2-D points with ground truth (base clusterers run on
+#: the points); the rest yield categorical tables (attributes are the base
+#: clusterings unless categorical clusterers are configured).
+POINT_SOURCES = ("seven-groups", "gaussian")
+
+#: Metric names accepted in ``[score].metrics``.  ``disagreement`` scores
+#: against the inputs; every other metric needs ground-truth labels.
+METRIC_NAMES = (
+    "ari",
+    "classification-error",
+    "disagreement",
+    "nmi",
+    "purity",
+    "rand",
+    "vi",
+)
+
+
+class PipelineConfigError(ValueError):
+    """A pipeline config that cannot be run, with an actionable message."""
+
+
+def _fail(message: str) -> PipelineConfigError:
+    return PipelineConfigError(message)
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """The ``[dataset]`` section: a source name plus its options."""
+
+    source: str
+    options: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_points(self) -> bool:
+        return self.source in POINT_SOURCES
+
+
+@dataclass(frozen=True)
+class BaseStage:
+    """One ``[[base]]`` entry, expanded into concrete jobs at run time."""
+
+    clusterer: str
+    params: dict[str, Any] = field(default_factory=dict)
+    sweep: dict[str, list[Any]] = field(default_factory=dict)
+    runs: int = 1
+    feature_fraction: float = 1.0
+    missing_rate: float = 0.0
+
+    def spec(self) -> MethodSpec:
+        return get_method(self.clusterer, role="clusterer")
+
+    def expand(self) -> list[dict[str, Any]]:
+        """The concrete parameter dicts this entry generates, in order.
+
+        The cartesian product iterates sweep parameters in the order they
+        appear in the config, repeated ``runs`` times — a deterministic
+        order, so the per-job seed streams are reproducible.
+        """
+        points: list[dict[str, Any]] = []
+        keys = list(self.sweep)
+        for values in itertools.product(*(self.sweep[key] for key in keys)):
+            merged = dict(self.params)
+            merged.update(zip(keys, values))
+            points.extend(dict(merged) for _ in range(self.runs))
+        return points
+
+
+@dataclass(frozen=True)
+class AggregateStage:
+    """The ``[aggregate]`` section."""
+
+    method: str = "agglomerative"
+    role: str = "aggregate"
+    params: dict[str, Any] = field(default_factory=dict)
+    p: float = 0.5
+    collapse: bool = False
+    lower_bound: bool = False
+
+    def spec(self) -> MethodSpec:
+        return get_method(self.method, role=self.role)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """A fully validated pipeline, ready for the runner."""
+
+    name: str
+    seed: int
+    dataset: DatasetConfig
+    bases: tuple[BaseStage, ...]
+    aggregate: AggregateStage
+    metrics: tuple[str, ...]
+    source_path: str | None = None
+
+
+def _require_table(raw: dict[str, Any], key: str, what: str) -> dict[str, Any]:
+    section = raw.get(key)
+    if section is None:
+        raise _fail(f"pipeline config is missing the required [{key}] section ({what})")
+    if not isinstance(section, dict):
+        raise _fail(f"[{key}] must be a table, got {type(section).__name__}")
+    return section
+
+
+def _parse_dataset(raw: dict[str, Any]) -> DatasetConfig:
+    section = dict(
+        _require_table(raw, "dataset", "which data to cluster, e.g. source = \"seven-groups\"")
+    )
+    source = section.pop("source", None)
+    if source is None:
+        raise _fail(
+            "[dataset] needs a 'source' key; choose from " + ", ".join(DATASET_SOURCES)
+        )
+    if source not in DATASET_SOURCES:
+        raise _fail(
+            f"unknown dataset source {source!r}; choose from {', '.join(DATASET_SOURCES)}"
+        )
+    if source == "csv" and not section.get("path"):
+        raise _fail("dataset source 'csv' requires a 'path' key pointing at the CSV file")
+    return DatasetConfig(source=source, options=section)
+
+
+def _parse_base(entry: Any, index: int, dataset: DatasetConfig) -> BaseStage:
+    where = f"[[base]] entry #{index + 1}"
+    if not isinstance(entry, dict):
+        raise _fail(f"{where} must be a table")
+    entry = dict(entry)
+    clusterer = entry.pop("clusterer", None)
+    if clusterer is None:
+        raise _fail(f"{where} needs a 'clusterer' key")
+    try:
+        spec = get_method(clusterer, role="clusterer")
+    except ValueError as error:
+        raise _fail(f"{where}: {error}") from error
+
+    wants = "points" if dataset.is_points else "categorical"
+    if spec.kind != wants:
+        raise _fail(
+            f"{where}: clusterer {clusterer!r} consumes {spec.kind} data but dataset "
+            f"source {dataset.source!r} provides {wants} data"
+        )
+
+    params = entry.pop("params", {})
+    if not isinstance(params, dict):
+        raise _fail(f"{where}: 'params' must be a table of keyword parameters")
+    sweep_raw = entry.pop("sweep", {})
+    if not isinstance(sweep_raw, dict):
+        raise _fail(f"{where}: 'sweep' must be a table mapping parameter -> list of values")
+    sweep: dict[str, list[Any]] = {}
+    for key, values in sweep_raw.items():
+        if not isinstance(values, list) or not values:
+            raise _fail(
+                f"{where}: sweep grid for parameter {key!r} must be a non-empty "
+                f"list of values, got {values!r}"
+            )
+        sweep[key] = list(values)
+    runs = entry.pop("runs", 1)
+    if not isinstance(runs, int) or runs < 1:
+        raise _fail(f"{where}: 'runs' must be a positive integer, got {runs!r}")
+    feature_fraction = float(entry.pop("feature_fraction", 1.0))
+    if not 0.0 < feature_fraction <= 1.0:
+        raise _fail(
+            f"{where}: 'feature_fraction' must be in (0, 1], got {feature_fraction}"
+        )
+    missing_rate = float(entry.pop("missing_rate", 0.0))
+    if not 0.0 <= missing_rate < 1.0:
+        raise _fail(f"{where}: 'missing_rate' must be in [0, 1), got {missing_rate}")
+    if entry:
+        raise _fail(
+            f"{where}: unknown key(s) {sorted(entry)}; accepted: clusterer, params, "
+            "sweep, runs, feature_fraction, missing_rate"
+        )
+
+    # Validate the merged parameter names and required parameters against
+    # the clusterer's registry schema, so a bad grid fails at load time.
+    merged = {**params, **{key: values[0] for key, values in sweep.items()}}
+    try:
+        spec.validate_params(merged)
+        spec.require_params({**merged, "rng": None})
+    except ValueError as error:
+        raise _fail(f"{where}: {error}") from error
+
+    return BaseStage(
+        clusterer=clusterer,
+        params=dict(params),
+        sweep=sweep,
+        runs=runs,
+        feature_fraction=feature_fraction,
+        missing_rate=missing_rate,
+    )
+
+
+def _parse_aggregate(raw: dict[str, Any]) -> AggregateStage:
+    section = dict(raw.get("aggregate") or {})
+    method = section.pop("method", "agglomerative")
+    params = section.pop("params", {})
+    if not isinstance(params, dict):
+        raise _fail("[aggregate].params must be a table of keyword parameters")
+    p = float(section.pop("p", 0.5))
+    collapse = bool(section.pop("collapse", False))
+    lower_bound = bool(section.pop("lower_bound", False))
+    if section:
+        raise _fail(
+            f"[aggregate]: unknown key(s) {sorted(section)}; accepted: method, "
+            "params, p, collapse, lower_bound"
+        )
+
+    role = "aggregate"
+    try:
+        spec = get_method(method, role="aggregate")
+    except ValueError:
+        try:
+            spec = get_method(method, role="baseline")
+            role = "baseline"
+        except ValueError:
+            from ..registry import method_names
+
+            raise _fail(
+                f"[aggregate]: unknown method {method!r}; choose from "
+                f"{', '.join(method_names('aggregate'))} or the consensus "
+                f"baselines {', '.join(method_names('baseline'))}"
+            ) from None
+    try:
+        spec.validate_params(params)
+        spec.require_params({**params, "rng": None})
+    except ValueError as error:
+        raise _fail(f"[aggregate]: {error}") from error
+    if collapse and not spec.supports_collapse:
+        raise _fail(
+            f"[aggregate]: method {method!r} does not support collapse=true"
+        )
+    return AggregateStage(
+        method=method,
+        role=role,
+        params=dict(params),
+        p=p,
+        collapse=collapse,
+        lower_bound=lower_bound,
+    )
+
+
+def _parse_metrics(raw: dict[str, Any]) -> tuple[str, ...]:
+    section = raw.get("score") or {}
+    metrics = section.get("metrics", ["disagreement"])
+    if not isinstance(metrics, list) or not metrics:
+        raise _fail("[score].metrics must be a non-empty list of metric names")
+    normalized = []
+    for name in metrics:
+        canonical = str(name).strip().lower().replace("_", "-")
+        if canonical not in METRIC_NAMES:
+            raise _fail(
+                f"unknown metric {name!r} in [score].metrics; choose from "
+                + ", ".join(METRIC_NAMES)
+            )
+        normalized.append(canonical)
+    return tuple(normalized)
+
+
+def parse_config(raw: dict[str, Any], source_path: str | None = None) -> PipelineConfig:
+    """Validate a raw (already TOML-decoded) config dict into a PipelineConfig."""
+    if not isinstance(raw, dict):
+        raise _fail("pipeline config must be a TOML table at top level")
+    meta = raw.get("pipeline") or {}
+    name = str(meta.get("name", "pipeline"))
+    seed = meta.get("seed", 0)
+    if not isinstance(seed, int):
+        raise _fail(f"[pipeline].seed must be an integer, got {seed!r}")
+
+    dataset = _parse_dataset(raw)
+    base_entries = raw.get("base", [])
+    if not isinstance(base_entries, list):
+        raise _fail("base clusterers must be given as [[base]] array-of-tables entries")
+    bases = tuple(
+        _parse_base(entry, index, dataset) for index, entry in enumerate(base_entries)
+    )
+    if dataset.is_points and not bases:
+        raise _fail(
+            f"dataset source {dataset.source!r} provides raw points, so at least "
+            "one [[base]] clusterer entry is required to produce input clusterings"
+        )
+
+    known = {"pipeline", "dataset", "base", "aggregate", "score"}
+    unknown = set(raw) - known
+    if unknown:
+        raise _fail(
+            f"unknown top-level section(s) {sorted(unknown)}; accepted: "
+            + ", ".join(sorted(known))
+        )
+
+    return PipelineConfig(
+        name=name,
+        seed=seed,
+        dataset=dataset,
+        bases=bases,
+        aggregate=_parse_aggregate(raw),
+        metrics=_parse_metrics(raw),
+        source_path=source_path,
+    )
+
+
+def load_config(path: str | Path) -> PipelineConfig:
+    """Read and validate a TOML pipeline config from disk."""
+    try:
+        import tomllib
+    except ImportError as error:  # pragma: no cover - Python < 3.11 only
+        raise PipelineConfigError(
+            "pipeline configs need the stdlib 'tomllib' module (Python >= 3.11)"
+        ) from error
+
+    path = Path(path)
+    if not path.exists():
+        raise _fail(f"pipeline config not found: {path}")
+    with path.open("rb") as handle:
+        try:
+            raw = tomllib.load(handle)
+        except tomllib.TOMLDecodeError as error:
+            raise _fail(f"{path} is not valid TOML: {error}") from error
+    return parse_config(raw, source_path=str(path))

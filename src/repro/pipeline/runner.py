@@ -1,0 +1,340 @@
+"""Execute a validated pipeline config: dataset → bases → aggregate → score.
+
+Determinism contract: the root ``[pipeline].seed`` is expanded through
+``numpy.random.SeedSequence.spawn`` into one child stream per stage
+position — one for the dataset generator, one per base-clustering job
+(in config order), one for the aggregation — before anything runs.  Base
+clusterings are generated serially (they are cheap); only the aggregation
+itself consults ``n_jobs`` / ``REPRO_JOBS``, and the core layer's
+parallel backend is bit-identical for every worker count.  A pipeline run
+is therefore reproducible byte-for-byte across ``REPRO_JOBS`` settings.
+
+Each stage runs under a :mod:`repro.obs` span (``pipeline.dataset``,
+``pipeline.base``, ``pipeline.aggregate``, ``pipeline.score``), so
+``repro pipeline run --trace`` shows the full stage tree with timings.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..core.aggregate import aggregate
+from ..core.distance import total_disagreement
+from ..core.labels import MISSING, validate_label_matrix
+from ..core.partition import Clustering
+from ..datasets import (
+    CategoricalDataset,
+    Points2D,
+    gaussian_with_noise,
+    generate_census,
+    generate_movies,
+    generate_mushrooms,
+    generate_votes,
+    seven_groups,
+)
+from ..metrics import (
+    adjusted_rand_index,
+    classification_error,
+    normalized_mutual_information,
+    purity,
+    rand_index,
+    variation_of_information,
+)
+from ..obs.trace import span
+from .config import BaseStage, PipelineConfig
+
+__all__ = ["BaseRun", "PipelineError", "PipelineResult", "run_pipeline"]
+
+
+class PipelineError(ValueError):
+    """A pipeline that validated but cannot run (e.g. metric without truth)."""
+
+
+@dataclass(frozen=True)
+class BaseRun:
+    """Report record for one generated base clustering."""
+
+    clusterer: str
+    params: dict[str, Any]
+    k: int
+    missing: int
+    elapsed_seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "clusterer": self.clusterer,
+            "params": {key: _json_value(value) for key, value in self.params.items()},
+            "k": self.k,
+            "missing": self.missing,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one :func:`run_pipeline` call."""
+
+    name: str
+    dataset: str
+    n: int
+    m: int
+    method: str
+    clustering: Clustering
+    disagreements: float | None
+    cost: float | None
+    lower_bound: float | None
+    scores: dict[str, float]
+    bases: tuple[BaseRun, ...]
+    elapsed_seconds: float
+    seed: int
+
+    @property
+    def k(self) -> int:
+        return self.clustering.k
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly report (the ``--json`` / ``--out`` payload)."""
+        return {
+            "pipeline": self.name,
+            "dataset": {"name": self.dataset, "n": self.n, "m": self.m},
+            "seed": self.seed,
+            "bases": [run.to_dict() for run in self.bases],
+            "aggregate": {
+                "method": self.method,
+                "k": self.k,
+                "disagreements": self.disagreements,
+                "cost": self.cost,
+                "lower_bound": self.lower_bound,
+            },
+            "scores": self.scores,
+            "elapsed_seconds": self.elapsed_seconds,
+            "labels": self.clustering.labels.tolist(),
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line report (default CLI output)."""
+        lines = [
+            f"pipeline         {self.name}",
+            f"dataset          {self.dataset}  n={self.n}  inputs={self.m}",
+            f"method           {self.method}",
+            f"consensus        k={self.k}"
+            + (
+                f"  D(C)={self.disagreements:.1f}"
+                if self.disagreements is not None
+                else ""
+            ),
+        ]
+        if self.lower_bound is not None:
+            lines.append(f"lower bound      {self.lower_bound:.3f}")
+        for name, value in self.scores.items():
+            lines.append(f"score            {name}={value:.4f}")
+        lines.append(f"elapsed          {self.elapsed_seconds:.3f}s")
+        return "\n".join(lines)
+
+
+def _json_value(value: Any) -> Any:
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value
+
+
+def _build_dataset(
+    config: PipelineConfig, rng: np.random.Generator
+) -> Points2D | CategoricalDataset:
+    source = config.dataset.source
+    options = dict(config.dataset.options)
+    seed: Any = options.pop("rng", rng)
+    if source == "seven-groups":
+        return seven_groups(rng=seed, **options)
+    if source == "gaussian":
+        return gaussian_with_noise(rng=seed, **options)
+    if source == "csv":
+        path = options.pop("path")
+        return CategoricalDataset.from_csv(path, **options)
+    generator = {
+        "votes": generate_votes,
+        "mushrooms": generate_mushrooms,
+        "census": generate_census,
+        "movies": generate_movies,
+    }[source]
+    return generator(rng=seed, **options)
+
+
+def _base_jobs(config: PipelineConfig) -> list[tuple[BaseStage, dict[str, Any]]]:
+    jobs: list[tuple[BaseStage, dict[str, Any]]] = []
+    for stage in config.bases:
+        jobs.extend((stage, params) for params in stage.expand())
+    return jobs
+
+
+def _run_base_job(
+    stage: BaseStage,
+    params: dict[str, Any],
+    data: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, BaseRun]:
+    """Generate one base clustering column (serial, its own seed stream)."""
+    spec = stage.spec()
+    view = data
+    if stage.feature_fraction < 1.0:
+        d = data.shape[1]
+        keep = max(1, int(round(stage.feature_fraction * d)))
+        columns = np.sort(rng.choice(d, size=keep, replace=False))
+        view = data[:, columns]
+    call = dict(params)
+    if spec.stochastic and "rng" not in call:
+        call["rng"] = rng
+    with span("pipeline.base", clusterer=stage.clusterer) as base_span:
+        labels = np.asarray(spec.func(view, **call)).astype(np.int64, copy=True)
+        if stage.missing_rate > 0.0:
+            mask = rng.random(labels.shape[0]) < stage.missing_rate
+            labels[mask] = MISSING
+        k = int(np.unique(labels[labels != MISSING]).size)
+        base_span.set(k=k)
+    run = BaseRun(
+        clusterer=stage.clusterer,
+        params={key: _json_value(value) for key, value in params.items()},
+        k=k,
+        missing=int(np.count_nonzero(labels == MISSING)),
+        elapsed_seconds=base_span.seconds,
+    )
+    return labels, run
+
+
+def _truth_labels(dataset: Points2D | CategoricalDataset) -> np.ndarray | None:
+    if isinstance(dataset, Points2D):
+        return dataset.truth
+    return dataset.classes
+
+
+def _score(
+    name: str,
+    clustering: Clustering,
+    truth: np.ndarray | None,
+    disagreements: float | None,
+    dataset_name: str,
+) -> float:
+    if name == "disagreement":
+        if disagreements is None:  # pragma: no cover - matrix is always known here
+            raise PipelineError("disagreement metric needs the input label matrix")
+        return float(disagreements)
+    if truth is None:
+        raise PipelineError(
+            f"dataset {dataset_name!r} has no ground-truth labels; metric {name!r} "
+            "needs them — drop it from [score].metrics or use a dataset with classes"
+        )
+    scorers = {
+        "ari": adjusted_rand_index,
+        "nmi": normalized_mutual_information,
+        "rand": rand_index,
+        "vi": variation_of_information,
+        "purity": purity,
+        "classification-error": classification_error,
+    }
+    return float(scorers[name](clustering, truth))
+
+
+def run_pipeline(config: PipelineConfig, n_jobs: int | None = None) -> PipelineResult:
+    """Run a validated pipeline config end-to-end and return its report.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.pipeline.config.PipelineConfig` from
+        :func:`~repro.pipeline.config.load_config` /
+        :func:`~repro.pipeline.config.parse_config`.
+    n_jobs:
+        Worker count for the aggregation stage (``None`` consults
+        ``REPRO_JOBS``); the result is bit-identical for every value.
+    """
+    jobs = _base_jobs(config)
+    # One stream per position, spawned up front: dataset, each base job,
+    # then the aggregation.  The spawn count is a pure function of the
+    # config, so results never depend on scheduling or worker topology.
+    streams = [
+        np.random.default_rng(s)
+        for s in np.random.SeedSequence(config.seed).spawn(len(jobs) + 2)
+    ]
+    dataset_rng, aggregate_rng = streams[0], streams[-1]
+
+    with span("pipeline", pipeline=config.name) as root:
+        with span("pipeline.dataset", source=config.dataset.source) as data_span:
+            dataset = _build_dataset(config, dataset_rng)
+            data_span.set(n=dataset.n)
+
+        if jobs:
+            raw = dataset.points if isinstance(dataset, Points2D) else dataset.data
+            columns: list[np.ndarray] = []
+            base_runs: list[BaseRun] = []
+            for position, (stage, params) in enumerate(jobs):
+                labels, run = _run_base_job(stage, params, raw, streams[1 + position])
+                columns.append(labels)
+                base_runs.append(run)
+            matrix = np.column_stack(columns).astype(np.int32)
+        else:
+            # Categorical datasets need no base stage: their attribute
+            # columns are the input clusterings (the paper's §2 mapping).
+            matrix = np.asarray(dataset.label_matrix())
+            base_runs = []
+        validate_label_matrix(matrix)
+
+        stage = config.aggregate
+        spec = stage.spec()
+        params = dict(stage.params)
+        if spec.stochastic and "rng" not in params:
+            params["rng"] = aggregate_rng
+        with span("pipeline.aggregate", method=stage.method) as agg_span:
+            if stage.role == "aggregate":
+                outcome = aggregate(
+                    matrix,
+                    method=stage.method,
+                    p=stage.p,
+                    compute_lower_bound=stage.lower_bound,
+                    collapse=stage.collapse,
+                    n_jobs=n_jobs,
+                    **params,
+                )
+                clustering = outcome.clustering
+                disagreements = outcome.disagreements
+                cost = outcome.cost
+                lower_bound = outcome.lower_bound
+            else:
+                # Related-work baselines follow the (matrix, **params)
+                # convention; normalize result objects to a Clustering.
+                if "p" in inspect.signature(spec.func).parameters:
+                    params.setdefault("p", stage.p)
+                result = spec.func(matrix, **params)
+                clustering = getattr(result, "clustering", result)
+                disagreements = total_disagreement(matrix, clustering, p=stage.p)
+                cost = disagreements / matrix.shape[1]
+                lower_bound = None
+            agg_span.set(k=clustering.k)
+
+        with span("pipeline.score", metrics=list(config.metrics)):
+            truth = _truth_labels(dataset)
+            scores = {
+                name: _score(name, clustering, truth, disagreements, dataset.name)
+                for name in config.metrics
+            }
+
+    return PipelineResult(
+        name=config.name,
+        dataset=dataset.name,
+        n=dataset.n,
+        m=int(matrix.shape[1]),
+        method=stage.method,
+        clustering=clustering,
+        disagreements=disagreements,
+        cost=cost,
+        lower_bound=lower_bound,
+        scores=scores,
+        bases=tuple(base_runs),
+        elapsed_seconds=root.seconds,
+        seed=config.seed,
+    )

@@ -1,0 +1,65 @@
+"""Base-clusterer registrations behind the :class:`BaseClusterer` protocol.
+
+The pipeline's base stage (and anything else that wants "some clustering
+of raw data") resolves these by name.  Each adapter normalizes its
+backend's native return type (``KMeansResult``, ``Clustering``, raw
+labels) to a flat ``(n,)`` integer label vector, so callers never branch
+on which library convention a given clusterer follows.
+
+``kind`` records the data each clusterer consumes: ``"points"`` for
+``(n, d)`` Euclidean matrices (k-means, DBSCAN, the linkage family) and
+``"categorical"`` for ``(n, m)`` integer-coded categorical matrices
+(LIMBO, ROCK — the paper's §6 baselines).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..baselines.limbo import limbo
+from ..baselines.rock import rock
+from ..cluster.dbscan import dbscan
+from ..cluster.kmeans import kmeans
+from ..cluster.linkage import hierarchical
+from .store import register_clusterer
+
+__all__: list[str] = []
+
+
+@register_clusterer("kmeans", data="points", stochastic=True, params_from=kmeans)
+def _kmeans_clusterer(points: np.ndarray, **params: Any) -> np.ndarray:
+    """Lloyd k-means (best of ``n_init`` seeded restarts)."""
+    return kmeans(points, **params).labels
+
+
+@register_clusterer(
+    "linkage",
+    data="points",
+    params_from=hierarchical,
+    summary="Flat k-cluster cut of a hierarchical linkage dendrogram.",
+)
+def _linkage_clusterer(points: np.ndarray, **params: Any) -> np.ndarray:
+    """Hierarchical linkage (single/complete/average/ward) cut at ``k``."""
+    return hierarchical(points, **params)
+
+
+@register_clusterer(
+    "dbscan", data="points", params_from=dbscan, exclude=("distances",)
+)
+def _dbscan_clusterer(points: np.ndarray, **params: Any) -> np.ndarray:
+    """Density-based clustering; noise points become singletons."""
+    return dbscan(points, **params)
+
+
+@register_clusterer("limbo", data="categorical", params_from=limbo)
+def _limbo_clusterer(data: np.ndarray, **params: Any) -> np.ndarray:
+    """LIMBO information-bottleneck categorical clustering."""
+    return limbo(data, **params).labels
+
+
+@register_clusterer("rock", data="categorical", stochastic=True, params_from=rock)
+def _rock_clusterer(data: np.ndarray, **params: Any) -> np.ndarray:
+    """ROCK link-based categorical clustering."""
+    return rock(data, **params).labels

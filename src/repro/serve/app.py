@@ -38,7 +38,8 @@ from functools import partial
 from pathlib import Path
 from typing import Any, Callable
 
-from ..core.aggregate import STOCHASTIC_METHODS, aggregate
+from ..core.aggregate import aggregate
+from ..registry import is_stochastic
 from ..obs.metrics import enable_metrics, get_registry, inc, observe
 from ..obs.trace import span
 from ..parallel.portfolio import portfolio
@@ -265,7 +266,7 @@ class AggregationService:
             payload["labels"] = result.best.labels.tolist()
             return payload
         extra: dict[str, Any] = {}
-        if spec["method"] in STOCHASTIC_METHODS:
+        if is_stochastic(spec["method"]):
             extra["rng"] = spec["rng"]
         if spec["method"] == "sharded" and spec.get("n_shards") is not None:
             extra["n_shards"] = spec["n_shards"]

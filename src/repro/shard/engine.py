@@ -35,7 +35,6 @@ from typing import Any
 import numpy as np
 
 from ..algorithms.sampling import sampling
-from ..core.aggregate import STOCHASTIC_METHODS, resolve_inner
 from ..core.distance import total_disagreement
 from ..core.instance import CorrelationInstance
 from ..core.labels import as_label_matrix, validate_label_matrix
@@ -45,6 +44,12 @@ from ..obs.profile import export_spans, merge_spans, worker_tracing
 from ..obs.trace import span
 from ..parallel.build import pool
 from ..parallel.shm import SharedNDArray, resolve_jobs
+from ..registry import (
+    SolveContext,
+    is_stochastic,
+    register_method,
+    resolve_instance_method,
+)
 from .merge import DEFAULT_MAX_EXACT_ATOMS, merge_shards
 from .partition import plan_shards
 
@@ -152,7 +157,7 @@ def _solve_shard(
                 kwargs["sample_size"] = min(int(kwargs["sample_size"]), int(indices.size))
             clustering = sampling(
                 sub,
-                resolve_inner(config["inner"]),
+                resolve_instance_method(config["inner"]),
                 p=p,
                 rng=child_rng,
                 weights=sub_weights,
@@ -170,9 +175,9 @@ def _solve_shard(
             instance = CorrelationInstance.from_label_matrix(
                 sub, p=p, weights=sub_weights, n_jobs=1, backend=config["backend"]
             )
-            if method in STOCHASTIC_METHODS:
+            if is_stochastic(method):
                 kwargs["rng"] = child_rng
-            clustering = resolve_inner(method)(instance, **kwargs)
+            clustering = resolve_instance_method(method)(instance, **kwargs)
             cost = instance.cost(clustering)
         shard_span.set(cost=cost, k=clustering.k)
     observe("shard.member.cost", cost)
@@ -214,6 +219,37 @@ def _run_shard(index: int) -> tuple[int, np.ndarray, float, int, float, list[dic
     return (index, labels, cost, k, elapsed, export_spans(trace))
 
 
+def _solve_sharded(ctx: SolveContext) -> Clustering:
+    # Relocated verbatim from aggregate()'s old "sharded" branch: shard and
+    # merge records land in ctx.params["shard"] for the result report.
+    matrix = ctx.require_matrix("sharded")
+    if ctx.atoms is not None:
+        shard_result = shard_aggregate(
+            ctx.atoms.matrix,
+            p=ctx.p,
+            weights=ctx.atoms.weights.astype(np.float64),
+            n_jobs=ctx.n_jobs,
+            backend=ctx.backend,
+            **ctx.params,
+        )
+        clustering = ctx.atoms.expand(shard_result.clustering)
+    else:
+        shard_result = shard_aggregate(
+            matrix, p=ctx.p, n_jobs=ctx.n_jobs, backend=ctx.backend, **ctx.params
+        )
+        clustering = shard_result.clustering
+    ctx.params["shard"] = shard_result.to_dict()
+    return clustering
+
+
+@register_method(
+    "sharded",
+    kind="matrix",
+    stochastic=True,
+    supports_weights=True,
+    exclude=("p", "weights", "n_jobs", "backend"),
+    solver=_solve_sharded,
+)
 def shard_aggregate(
     inputs: Sequence[Clustering] | np.ndarray,
     n_shards: int = 4,
@@ -283,7 +319,7 @@ def shard_aggregate(
         if np.any(weights < 1):
             raise ValueError("weights must be >= 1 (duplicate multiplicities)")
     if shard_method != "sampling":
-        resolve_inner(shard_method)  # raises early on unknown / matrix-level names
+        resolve_instance_method(shard_method)  # raises early on unknown names
     if n_shards < 1:
         raise ValueError(f"n_shards must be positive, got {n_shards}")
     shards = min(int(n_shards), n)

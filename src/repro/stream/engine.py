@@ -52,6 +52,7 @@ from ..core.objective import MoveEvaluator
 from ..core.partition import Clustering
 from ..obs.metrics import inc
 from ..obs.trace import span
+from ..registry import SolveContext, register_method
 from .instance import IncrementalCorrelationInstance
 
 __all__ = ["StreamingAggregator", "StreamUpdate", "StreamStats"]
@@ -424,3 +425,24 @@ class StreamingAggregator:
             f"StreamingAggregator(n={self.n}, count={self.count}, k={k}, "
             f"threshold={self._sampling_threshold})"
         )
+
+
+def _solve_streaming(ctx: SolveContext) -> Clustering:
+    # Relocated verbatim from aggregate()'s old "streaming" branch: replay
+    # the label-matrix columns through a fresh engine.
+    matrix = ctx.require_matrix("streaming")
+    engine = StreamingAggregator(matrix.shape[0], p=ctx.p, **ctx.params)
+    engine.observe_many(matrix)
+    return engine.consensus
+
+
+# Registered via an explicit call (not decorator syntax) so the class
+# object keeps its precise type for the strict-mypy consumers upstream.
+register_method(
+    "streaming",
+    kind="matrix",
+    stochastic=True,
+    supports_collapse=False,
+    exclude=("p",),
+    solver=_solve_streaming,
+)(StreamingAggregator)

@@ -1,0 +1,324 @@
+"""Tests for :mod:`repro.pipeline` — declarative consensus pipelines.
+
+Covers the three satellite requirements: a golden end-to-end Figure 3
+style run on the synthetic 2-D dataset, config-validation errors with
+actionable messages, and bit-identical results across ``REPRO_JOBS``
+settings — plus the CLI front door (``repro pipeline run/validate``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.pipeline import (
+    PipelineConfigError,
+    load_config,
+    parse_config,
+    run_pipeline,
+)
+
+FIG3_RAW = {
+    "pipeline": {"name": "fig3", "seed": 0},
+    "dataset": {"source": "seven-groups"},
+    "base": [
+        {
+            "clusterer": "linkage",
+            "params": {"k": 7},
+            "sweep": {"method": ["single", "complete", "average"]},
+        },
+        {"clusterer": "kmeans", "params": {"k": 7}, "runs": 2, "missing_rate": 0.1},
+    ],
+    "aggregate": {"method": "agglomerative"},
+    "score": {"metrics": ["ari", "classification-error", "disagreement"]},
+}
+
+
+def fig3_config():
+    return parse_config(json.loads(json.dumps(FIG3_RAW)))
+
+
+# ---------------------------------------------------------------------------
+# Golden end-to-end run (Figure 3 scenario)
+# ---------------------------------------------------------------------------
+
+
+def test_fig3_style_run_recovers_structure() -> None:
+    result = run_pipeline(fig3_config())
+    # 3 linkage variants + 2 kmeans runs.
+    assert result.m == 5
+    assert [run.clusterer for run in result.bases] == [
+        "linkage",
+        "linkage",
+        "linkage",
+        "kmeans",
+        "kmeans",
+    ]
+    # The sweep parameters are reported per job, in config order.
+    assert [run.params.get("method") for run in result.bases[:3]] == [
+        "single",
+        "complete",
+        "average",
+    ]
+    # Missing-label injection hit the kmeans columns only.
+    assert all(run.missing == 0 for run in result.bases[:3])
+    assert all(run.missing > 0 for run in result.bases[3:])
+    # The aggregation recovers most of the seven-group structure even
+    # though every base clusterer is broken in its own way (Fig. 3).
+    assert result.scores["ari"] > 0.6
+    assert result.scores["classification-error"] < 0.35
+    assert result.scores["disagreement"] == pytest.approx(result.disagreements)
+    report = result.to_dict()
+    assert report["dataset"]["n"] == result.n
+    assert len(report["labels"]) == result.n
+    assert "fig3" in result.render()
+
+
+def test_categorical_dataset_needs_no_base_stage() -> None:
+    raw = {
+        "dataset": {"source": "votes"},
+        "aggregate": {"method": "agglomerative"},
+        "score": {"metrics": ["classification-error"]},
+    }
+    result = run_pipeline(parse_config(raw))
+    assert result.bases == ()
+    assert result.m == 16  # the 16 roll-call attributes are the inputs
+    assert result.k == 2
+    assert result.scores["classification-error"] < 0.2
+
+
+def test_baseline_methods_run_through_pipeline() -> None:
+    raw = {
+        "dataset": {"source": "votes"},
+        "aggregate": {"method": "cspa", "params": {"k": 2}},
+        "score": {"metrics": ["disagreement"]},
+    }
+    result = run_pipeline(parse_config(raw))
+    assert result.method == "cspa"
+    assert result.k == 2
+    assert result.disagreements is not None
+
+
+# ---------------------------------------------------------------------------
+# Determinism (seed stability across REPRO_JOBS)
+# ---------------------------------------------------------------------------
+
+
+def test_same_seed_is_bit_identical() -> None:
+    first = run_pipeline(fig3_config())
+    second = run_pipeline(fig3_config())
+    assert np.array_equal(first.clustering.labels, second.clustering.labels)
+    assert first.scores == second.scores
+
+
+def test_different_seed_changes_base_clusterings() -> None:
+    raw = json.loads(json.dumps(FIG3_RAW))
+    raw["pipeline"]["seed"] = 12345
+    shifted = run_pipeline(parse_config(raw))
+    base = run_pipeline(fig3_config())
+    # kmeans restarts draw from the per-job streams, so the injected
+    # missing pattern or the consensus itself must differ.
+    assert [run.missing for run in shifted.bases] != [
+        run.missing for run in base.bases
+    ] or not np.array_equal(shifted.clustering.labels, base.clustering.labels)
+
+
+def test_bit_identity_across_worker_counts(monkeypatch: pytest.MonkeyPatch) -> None:
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    serial = run_pipeline(fig3_config(), n_jobs=None)
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    parallel = run_pipeline(fig3_config(), n_jobs=None)
+    assert np.array_equal(serial.clustering.labels, parallel.clustering.labels)
+    assert serial.scores == parallel.scores
+    strip = lambda run: {k: v for k, v in run.items() if k != "elapsed_seconds"}  # noqa: E731
+    assert [strip(r) for r in serial.to_dict()["bases"]] == [
+        strip(r) for r in parallel.to_dict()["bases"]
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Config validation errors (actionable messages)
+# ---------------------------------------------------------------------------
+
+
+def test_missing_dataset_section() -> None:
+    with pytest.raises(PipelineConfigError, match=r"missing the required \[dataset\]"):
+        parse_config({"aggregate": {"method": "balls"}})
+
+
+def test_unknown_dataset_source() -> None:
+    with pytest.raises(PipelineConfigError, match="unknown dataset source 'iris'"):
+        parse_config({"dataset": {"source": "iris"}})
+
+
+def test_unknown_aggregate_method_lists_choices() -> None:
+    raw = {"dataset": {"source": "votes"}, "aggregate": {"method": "majority"}}
+    with pytest.raises(PipelineConfigError) as excinfo:
+        parse_config(raw)
+    assert "unknown method 'majority'" in str(excinfo.value)
+
+
+def test_unknown_clusterer_is_prefixed_with_entry() -> None:
+    raw = {
+        "dataset": {"source": "seven-groups"},
+        "base": [{"clusterer": "spectral"}],
+    }
+    with pytest.raises(PipelineConfigError, match=r"\[\[base\]\] entry #1"):
+        parse_config(raw)
+
+
+def test_clusterer_dataset_kind_mismatch() -> None:
+    raw = {
+        "dataset": {"source": "votes"},
+        "base": [{"clusterer": "kmeans", "params": {"k": 2}}],
+    }
+    with pytest.raises(PipelineConfigError, match="consumes points data"):
+        parse_config(raw)
+
+
+def test_bad_sweep_grid() -> None:
+    raw = {
+        "dataset": {"source": "seven-groups"},
+        "base": [{"clusterer": "kmeans", "params": {"k": 7}, "sweep": {"k": []}}],
+    }
+    with pytest.raises(PipelineConfigError, match="non-empty"):
+        parse_config(raw)
+
+
+def test_sweep_over_unknown_parameter() -> None:
+    raw = {
+        "dataset": {"source": "seven-groups"},
+        "base": [{"clusterer": "kmeans", "sweep": {"klusters": [3, 5]}}],
+    }
+    with pytest.raises(PipelineConfigError, match="unknown parameter"):
+        parse_config(raw)
+
+
+def test_missing_required_clusterer_parameter() -> None:
+    raw = {
+        "dataset": {"source": "seven-groups"},
+        "base": [{"clusterer": "kmeans"}],
+    }
+    with pytest.raises(PipelineConfigError, match="requires parameter"):
+        parse_config(raw)
+
+
+def test_points_dataset_requires_bases() -> None:
+    raw = {"dataset": {"source": "seven-groups"}}
+    with pytest.raises(PipelineConfigError, match="at least\none|at least"):
+        parse_config(raw)
+
+
+def test_unknown_metric_lists_choices() -> None:
+    raw = {
+        "dataset": {"source": "votes"},
+        "score": {"metrics": ["silhouette"]},
+    }
+    with pytest.raises(PipelineConfigError, match="unknown metric 'silhouette'"):
+        parse_config(raw)
+
+
+def test_unknown_base_key_rejected() -> None:
+    raw = {
+        "dataset": {"source": "seven-groups"},
+        "base": [{"clusterer": "kmeans", "params": {"k": 3}, "repeat": 4}],
+    }
+    with pytest.raises(PipelineConfigError, match="unknown key"):
+        parse_config(raw)
+
+
+def test_collapse_unsupported_method_rejected() -> None:
+    raw = {
+        "dataset": {"source": "votes"},
+        "aggregate": {"method": "best", "collapse": True},
+    }
+    with pytest.raises(PipelineConfigError, match="does not support collapse"):
+        parse_config(raw)
+
+
+def test_load_config_missing_file(tmp_path) -> None:
+    with pytest.raises(PipelineConfigError, match="not found"):
+        load_config(tmp_path / "nope.toml")
+
+
+def test_load_config_bad_toml(tmp_path) -> None:
+    path = tmp_path / "broken.toml"
+    path.write_text("[dataset\nsource=")
+    with pytest.raises(PipelineConfigError, match="not valid TOML"):
+        load_config(path)
+
+
+# ---------------------------------------------------------------------------
+# CLI front door and shipped example configs
+# ---------------------------------------------------------------------------
+
+
+def _write_config(tmp_path, text: str) -> str:
+    path = tmp_path / "pipeline.toml"
+    path.write_text(text)
+    return str(path)
+
+
+MINIMAL_TOML = """
+[pipeline]
+name = "cli-votes"
+seed = 0
+
+[dataset]
+source = "votes"
+
+[aggregate]
+method = "agglomerative"
+
+[score]
+metrics = ["classification-error"]
+"""
+
+
+def test_cli_pipeline_validate(tmp_path, capsys) -> None:
+    path = _write_config(tmp_path, MINIMAL_TOML)
+    assert main(["pipeline", "validate", path]) == 0
+    out = capsys.readouterr().out
+    assert "cli-votes" in out
+    assert "agglomerative" in out
+
+
+def test_cli_pipeline_run_json_and_out(tmp_path, capsys) -> None:
+    path = _write_config(tmp_path, MINIMAL_TOML)
+    out_path = tmp_path / "report.json"
+    assert main(["pipeline", "run", path, "--json", "--out", str(out_path)]) == 0
+    stdout = capsys.readouterr().out
+    report = json.loads(stdout)
+    assert report["pipeline"] == "cli-votes"
+    assert report["aggregate"]["k"] == 2
+    assert json.loads(out_path.read_text()) == report
+
+
+def test_cli_pipeline_run_trace(tmp_path, capsys) -> None:
+    path = _write_config(tmp_path, MINIMAL_TOML)
+    assert main(["pipeline", "run", path, "--trace"]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline.dataset" in out
+    assert "pipeline.aggregate" in out
+
+
+def test_cli_pipeline_config_error_is_friendly(tmp_path, capsys) -> None:
+    path = _write_config(tmp_path, "[dataset]\nsource = 'iris'\n")
+    assert main(["pipeline", "run", path]) == 2
+    err = capsys.readouterr().err
+    assert "unknown dataset source" in err
+    assert "Traceback" not in err
+
+
+def test_shipped_example_configs_validate() -> None:
+    from pathlib import Path
+
+    examples = Path(__file__).resolve().parents[1] / "examples"
+    configs = sorted(examples.glob("*.toml"))
+    assert configs, "no example pipeline configs shipped"
+    for config_path in configs:
+        config = load_config(config_path)
+        assert config.metrics

@@ -1,0 +1,221 @@
+"""Tests for :mod:`repro.registry` — the unified method registry.
+
+The registry is the single source of truth for method dispatch: these
+tests pin the registered name sets (so a registration can never silently
+drop out of ``available_methods()`` / the CLI / the serve schema), the
+derived parameter schemas, the validation error messages, and the
+resolution helpers the other layers build on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import STOCHASTIC_METHODS, aggregate, available_methods
+from repro.registry import (
+    REQUIRED,
+    MethodSpec,
+    all_specs,
+    clusterer_names,
+    get_method,
+    is_stochastic,
+    method_names,
+    resolve_instance_method,
+    stochastic_method_names,
+    validate_params,
+)
+
+FIG1 = np.array(
+    [
+        [0, 0, 0],
+        [0, 1, 1],
+        [1, 0, 0],
+        [1, 1, 1],
+        [2, 2, 2],
+        [2, 3, 2],
+    ],
+    dtype=np.int64,
+)
+
+
+# ---------------------------------------------------------------------------
+# Registered name sets
+# ---------------------------------------------------------------------------
+
+
+def test_aggregate_role_holds_all_paper_methods() -> None:
+    assert method_names("aggregate") == (
+        "agglomerative",
+        "annealing",
+        "balls",
+        "best",
+        "cmsy",
+        "exact",
+        "furthest",
+        "genetic",
+        "local-search",
+        "pivot",
+        "portfolio",
+        "sampling",
+        "sharded",
+        "streaming",
+    )
+
+
+def test_baseline_role_holds_consensus_references() -> None:
+    assert method_names("baseline") == ("cspa", "evidence", "mcla", "mixture")
+
+
+def test_clusterer_role_holds_base_clusterers() -> None:
+    assert clusterer_names() == ("dbscan", "kmeans", "limbo", "linkage", "rock")
+
+
+def test_available_methods_is_registry_derived() -> None:
+    assert available_methods() == method_names("aggregate")
+
+
+def test_stochastic_methods_matches_registry() -> None:
+    assert STOCHASTIC_METHODS == stochastic_method_names()
+    assert set(STOCHASTIC_METHODS) == {
+        name for name in method_names("aggregate") if is_stochastic(name)
+    }
+
+
+def test_roles_are_disjoint_namespaces() -> None:
+    # "kmeans" is a clusterer, not an aggregation method.
+    with pytest.raises(ValueError, match="unknown method 'kmeans'"):
+        get_method("kmeans")
+    spec = get_method("kmeans", role="clusterer")
+    assert spec.role == "clusterer"
+    assert spec.kind == "points"
+
+
+# ---------------------------------------------------------------------------
+# Spec capabilities and schemas
+# ---------------------------------------------------------------------------
+
+
+def test_specs_carry_capability_flags() -> None:
+    assert get_method("balls").supports_weights
+    assert get_method("balls").kind == "instance"
+    assert get_method("pivot").kind == "label-fast"
+    assert not get_method("best").supports_collapse
+    assert get_method("portfolio").needs_instance
+    assert get_method("sampling").stochastic
+
+
+def test_param_schema_derived_from_signature() -> None:
+    spec = get_method("balls")
+    names = [param.name for param in spec.params]
+    assert "alpha" in names
+    alpha = next(param for param in spec.params if param.name == "alpha")
+    assert not alpha.required
+    assert alpha.default == pytest.approx(0.25)
+
+
+def test_required_params_detected() -> None:
+    spec = get_method("kmeans", role="clusterer")
+    k = next(param for param in spec.params if param.name == "k")
+    assert k.required
+    assert k.default is REQUIRED
+    with pytest.raises(ValueError, match="requires parameter"):
+        spec.require_params({})
+
+
+def test_describe_renders_params() -> None:
+    text = get_method("balls").describe()
+    assert "balls" in text
+    assert "--alpha" in text
+
+
+def test_all_specs_sorted_and_typed() -> None:
+    specs = all_specs(role="aggregate")
+    assert [spec.name for spec in specs] == sorted(spec.name for spec in specs)
+    assert all(isinstance(spec, MethodSpec) for spec in specs)
+
+
+# ---------------------------------------------------------------------------
+# Parameter validation (satellite: unknown kwargs raise with accepted list)
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_param_rejected_with_accepted_list() -> None:
+    with pytest.raises(ValueError) as excinfo:
+        aggregate(FIG1, method="balls", bogus=1)
+    message = str(excinfo.value)
+    assert "unknown parameter(s) 'bogus' for method 'balls'" in message
+    assert "alpha" in message
+
+
+def test_unknown_param_checked_before_any_work() -> None:
+    # Even expensive methods fail fast on a typo'd parameter name.
+    with pytest.raises(ValueError, match="unknown parameter"):
+        aggregate(FIG1, method="local-search", iterations=3)
+
+
+def test_validate_params_helper() -> None:
+    validate_params("balls", {"alpha": 0.4})
+    with pytest.raises(ValueError, match="unknown parameter"):
+        validate_params("balls", {"radius_": 1})
+
+
+def test_extra_params_allowed_for_open_signatures() -> None:
+    # sharded forwards **params to the inner method, so extras must pass.
+    assert get_method("sharded").accepts_extra
+
+
+def test_known_params_still_accepted() -> None:
+    result = aggregate(FIG1, method="balls", alpha=0.4)
+    assert result.params == {"alpha": 0.4}
+
+
+# ---------------------------------------------------------------------------
+# Resolution helpers
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_instance_method_names_and_callables() -> None:
+    func = resolve_instance_method("agglomerative")
+    assert callable(func)
+    marker = lambda instance: None  # noqa: E731
+    assert resolve_instance_method(marker) is marker
+    with pytest.raises(ValueError, match="unknown inner algorithm"):
+        resolve_instance_method("nope")
+
+
+def test_unknown_method_error_lists_choices() -> None:
+    with pytest.raises(ValueError) as excinfo:
+        get_method("nope")
+    assert "unknown method 'nope'" in str(excinfo.value)
+    assert "agglomerative" in str(excinfo.value)
+
+
+def test_unknown_clusterer_error_is_role_specific() -> None:
+    with pytest.raises(ValueError, match="unknown base clusterer"):
+        get_method("nope", role="clusterer")
+
+
+# ---------------------------------------------------------------------------
+# Registration is non-invasive
+# ---------------------------------------------------------------------------
+
+
+def test_decorated_functions_unchanged() -> None:
+    # register_method returns the function object untouched, so direct
+    # calls (the pre-registry API) behave identically.
+    from repro.algorithms import balls
+    from repro.core import CorrelationInstance
+
+    instance = CorrelationInstance.from_label_matrix(FIG1)
+    direct = balls(instance)
+    via_registry = get_method("balls").func(instance)
+    assert np.array_equal(direct.labels, via_registry.labels)
+
+
+def test_clusterer_specs_return_label_arrays() -> None:
+    rng = np.random.default_rng(0)
+    points = rng.random((30, 2))
+    labels = get_method("kmeans", role="clusterer").func(points, k=3, rng=1)
+    assert labels.shape == (30,)
+    assert set(np.unique(labels)) <= {0, 1, 2}

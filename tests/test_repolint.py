@@ -634,3 +634,119 @@ def test_repository_is_lint_clean() -> None:
     findings, checked = lint_paths([root / "src", root / "tests"])
     assert checked > 0
     assert findings == [], "\n".join(f.format() for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# RPR014: hand-rolled method dispatch outside repro.registry
+# ---------------------------------------------------------------------------
+
+
+def test_rpr014_flags_method_dispatch_dict() -> None:
+    source = """\
+    _METHODS = {"balls": balls, "furthest": furthest}
+    """
+    assert codes(source) == ["RPR014"]
+
+
+def test_rpr014_flags_annotated_and_class_level_tables() -> None:
+    annotated = 'SOLVERS: dict = {"a": solve_a, "b": lambda x: x}\n'
+    assert codes(annotated) == ["RPR014"]
+    class_level = """\
+    class Runner:
+        DISPATCH = {"a": run_a, "b": run_b}
+    """
+    assert codes(class_level) == ["RPR014"]
+
+
+def test_rpr014_flags_method_elif_chain() -> None:
+    source = """\
+    def solve(method, instance):
+        if method == "balls":
+            return balls(instance)
+        elif method == "furthest":
+            return furthest(instance)
+        elif method in ("agglomerative", "local-search"):
+            return agglomerative(instance)
+    """
+    assert codes(source) == ["RPR014"]
+
+
+def test_rpr014_flags_attribute_and_subscript_selectors() -> None:
+    source = """\
+    def route(args, spec):
+        if args.method == "a":
+            pass
+        elif args.method == "b":
+            pass
+        elif args.method == "c":
+            pass
+    """
+    assert codes(source) == ["RPR014"]
+    subscript = """\
+    def route(spec):
+        if spec["method"] == "a":
+            pass
+        elif spec["method"] == "b":
+            pass
+        elif spec["method"] == "c":
+            pass
+    """
+    assert codes(subscript) == ["RPR014"]
+
+
+def test_rpr014_clean_patterns() -> None:
+    # Tuples of accepted names are validation, not dispatch.
+    assert codes('_METHODS = ("single", "complete", "average")\n') == []
+    # Separate ifs (CLI parameter plumbing) are not an elif dispatch chain.
+    assert (
+        codes(
+            """\
+    def tune(args):
+        if args.method == "balls":
+            pass
+        if args.method == "pivot":
+            pass
+        if args.method == "sampling":
+            pass
+    """
+        )
+        == []
+    )
+    # Two-branch chains stay under the threshold.
+    assert (
+        codes(
+            """\
+    def solve(method):
+        if method == "a":
+            return 1
+        elif method == "b":
+            return 2
+    """
+        )
+        == []
+    )
+    # Dicts of data (not callables) under a METHOD name are fine.
+    assert codes('_METHOD_DOCS = {"a": "doc a", "b": "doc b"}\n') == []
+    # Function-local lookup tables are not module-level registries.
+    assert (
+        codes(
+            """\
+    def pick(name):
+        methods = {"a": f, "b": g}
+        return methods[name]
+    """
+        )
+        == []
+    )
+
+
+def test_rpr014_scoped_to_library_outside_registry() -> None:
+    table = '_METHODS = {"a": f, "b": g}\n'
+    assert codes(table, path="src/repro/registry/store.py") == []
+    assert codes(table, path=OUTSIDE) == []
+    assert codes(table, path="src/repro/serve/app.py") == ["RPR014"]
+
+
+def test_rpr014_suppressible() -> None:
+    line = '_METHODS = {"a": f, "b": g}  # repolint: disable=RPR014\n'
+    assert codes(line) == []
